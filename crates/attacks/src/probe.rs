@@ -1,0 +1,286 @@
+//! Liveness probe techniques and their timing/stealth profiles (Table I),
+//! plus the probe-timeout derivation of §V-B1.
+//!
+//! Table I of the paper (timing excludes attacker↔victim RTT):
+//!
+//! | Type          | Stealth   | Requirements    | Timing (ms)   |
+//! |---------------|-----------|-----------------|---------------|
+//! | ICMP Ping     | Low       | None            | 0.91 ± 0.04   |
+//! | TCP SYN       | Medium    | Port known      | 492.3 ± 1.4   |
+//! | ARP ping      | High      | Same subnet     | 133.5 ± 1.6   |
+//! | TCP idle scan | Very High | Suitable zombie | 1.8 ± 0.1     |
+//!
+//! The timing column is per-technique *tool overhead* (nmap's scan
+//! machinery: retransmission budgets, rate limiting, reply bookkeeping),
+//! measured over 1000 scans on the authors' testbed. We model each as a
+//! normal distribution calibrated to the reported mean ± sd; the protocol
+//! *mechanics* (which packets are exchanged) are simulated for real.
+
+use rand::Rng;
+
+use sdn_types::packet::{ArpPacket, EthernetFrame, IcmpPacket, Ipv4Packet, Payload, TcpSegment, Transport};
+use sdn_types::{Duration, IpAddr, MacAddr};
+use tm_stats::{normal_quantile, Distribution, Normal};
+
+/// A liveness probe technique.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProbeKind {
+    /// ICMP echo request.
+    IcmpPing,
+    /// TCP SYN to a known port.
+    TcpSyn {
+        /// The target port (must be known to the attacker).
+        port: u16,
+    },
+    /// ARP who-has (requires same subnet). The paper's choice.
+    ArpPing,
+    /// TCP idle scan through a zombie (requires a suitable zombie).
+    IdleScan {
+        /// The zombie's IP.
+        zombie: IpAddr,
+        /// The target port to probe.
+        port: u16,
+    },
+}
+
+/// Timing/stealth profile of a technique.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeTiming {
+    /// Mean tool overhead, milliseconds.
+    pub overhead_mean_ms: f64,
+    /// Standard deviation of the overhead, milliseconds.
+    pub overhead_sd_ms: f64,
+    /// Qualitative stealth (Table I).
+    pub stealth: tm_ids::Stealth,
+    /// The technique's requirement, as stated in Table I.
+    pub requirement: &'static str,
+}
+
+impl ProbeKind {
+    /// The Table I profile for this technique.
+    pub fn timing(&self) -> ProbeTiming {
+        match self {
+            ProbeKind::IcmpPing => ProbeTiming {
+                overhead_mean_ms: 0.91,
+                overhead_sd_ms: 0.04,
+                stealth: tm_ids::Stealth::Low,
+                requirement: "None",
+            },
+            ProbeKind::TcpSyn { .. } => ProbeTiming {
+                overhead_mean_ms: 492.3,
+                overhead_sd_ms: 1.4,
+                stealth: tm_ids::Stealth::Medium,
+                requirement: "Port Known",
+            },
+            ProbeKind::ArpPing => ProbeTiming {
+                overhead_mean_ms: 133.5,
+                overhead_sd_ms: 1.6,
+                stealth: tm_ids::Stealth::High,
+                requirement: "Same subnet",
+            },
+            ProbeKind::IdleScan { .. } => ProbeTiming {
+                overhead_mean_ms: 1.8,
+                overhead_sd_ms: 0.1,
+                stealth: tm_ids::Stealth::VeryHigh,
+                requirement: "Suitable zombie",
+            },
+        }
+    }
+
+    /// Table I's name for the technique.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProbeKind::IcmpPing => "ICMP Ping",
+            ProbeKind::TcpSyn { .. } => "TCP SYN",
+            ProbeKind::ArpPing => "ARP ping",
+            ProbeKind::IdleScan { .. } => "TCP Idle Scan",
+        }
+    }
+
+    /// Samples the tool overhead for one scan.
+    pub fn sample_overhead<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let t = self.timing();
+        Duration::from_millis_f64(
+            Normal::new(t.overhead_mean_ms, t.overhead_sd_ms)
+                .sample(rng)
+                .max(0.0),
+        )
+    }
+
+    /// Builds the probe frame(s) this technique sends directly to the
+    /// victim. Idle scans probe indirectly and are driven by
+    /// [`crate::idle::IdleScanProber`] instead.
+    pub fn build_probe(
+        &self,
+        attacker_mac: MacAddr,
+        attacker_ip: IpAddr,
+        victim_mac: MacAddr,
+        victim_ip: IpAddr,
+        seq: u16,
+    ) -> Option<EthernetFrame> {
+        match self {
+            ProbeKind::IcmpPing => Some(EthernetFrame::new(
+                attacker_mac,
+                victim_mac,
+                Payload::Ipv4(Ipv4Packet::new(
+                    attacker_ip,
+                    victim_ip,
+                    Transport::Icmp(IcmpPacket::echo_request(0x6e6d, seq, vec![])),
+                )),
+            )),
+            ProbeKind::TcpSyn { port } => Some(EthernetFrame::new(
+                attacker_mac,
+                victim_mac,
+                Payload::Ipv4(Ipv4Packet::new(
+                    attacker_ip,
+                    victim_ip,
+                    Transport::Tcp(TcpSegment::syn(40_000 + seq, *port, u32::from(seq))),
+                )),
+            )),
+            ProbeKind::ArpPing => Some(EthernetFrame::new(
+                attacker_mac,
+                MacAddr::BROADCAST,
+                Payload::Arp(ArpPacket::request(attacker_mac, attacker_ip, victim_ip)),
+            )),
+            ProbeKind::IdleScan { .. } => None,
+        }
+    }
+
+    /// Whether `frame` answers a probe of this kind for `victim_ip`.
+    pub fn is_reply(&self, frame: &EthernetFrame, victim_ip: IpAddr) -> bool {
+        match self {
+            ProbeKind::IcmpPing => frame
+                .ipv4()
+                .is_some_and(|ip| ip.src == victim_ip && matches!(&ip.transport,
+                    Transport::Icmp(icmp) if icmp.icmp_type == sdn_types::packet::IcmpType::EchoReply)),
+            ProbeKind::TcpSyn { .. } => frame.ipv4().is_some_and(|ip| {
+                ip.src == victim_ip
+                    && matches!(&ip.transport,
+                        Transport::Tcp(tcp) if tcp.is_syn_ack() || tcp.is_rst())
+            }),
+            ProbeKind::ArpPing => frame
+                .arp()
+                .is_some_and(|arp| arp.op == sdn_types::packet::ArpOp::Reply && arp.sender_ip == victim_ip),
+            ProbeKind::IdleScan { .. } => false,
+        }
+    }
+}
+
+/// Derives the probe timeout for a desired false-positive rate given an RTT
+/// distribution `N(rtt_mean_ms, rtt_sd_ms)` — §V-B1's quantile calculation.
+///
+/// With the paper's parameters (`20 ms`, `5 ms`, 1 % FP) this returns
+/// ≈ 31.6 ms, which the authors round up to their 35 ms timeout.
+pub fn derive_probe_timeout(rtt_mean_ms: f64, rtt_sd_ms: f64, false_positive_rate: f64) -> Duration {
+    assert!(
+        false_positive_rate > 0.0 && false_positive_rate < 1.0,
+        "false-positive rate must be in (0, 1)"
+    );
+    Duration::from_millis_f64(normal_quantile(rtt_mean_ms, rtt_sd_ms, 1.0 - false_positive_rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tm_stats::Summary;
+
+    const AMAC: MacAddr = MacAddr::new([0xA; 6]);
+    const VMAC: MacAddr = MacAddr::new([0xB; 6]);
+    const AIP: IpAddr = IpAddr::new(10, 0, 0, 66);
+    const VIP: IpAddr = IpAddr::new(10, 0, 0, 1);
+
+    #[test]
+    fn table1_overheads_reproduce() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (kind, mean) in [
+            (ProbeKind::IcmpPing, 0.91),
+            (ProbeKind::TcpSyn { port: 80 }, 492.3),
+            (ProbeKind::ArpPing, 133.5),
+            (ProbeKind::IdleScan { zombie: AIP, port: 80 }, 1.8),
+        ] {
+            let samples: Vec<f64> = (0..1000)
+                .map(|_| kind.sample_overhead(&mut rng).as_millis_f64())
+                .collect();
+            let s = Summary::of(&samples);
+            assert!(
+                (s.mean - mean).abs() < mean * 0.02 + 0.02,
+                "{}: mean {} vs {}",
+                kind.name(),
+                s.mean,
+                mean
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_matches_table1() {
+        // ICMP < idle < ARP < SYN.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mean = |k: ProbeKind| {
+            (0..200)
+                .map(|_| k.sample_overhead(&mut rng).as_millis_f64())
+                .sum::<f64>()
+                / 200.0
+        };
+        let icmp = mean(ProbeKind::IcmpPing);
+        let idle = mean(ProbeKind::IdleScan { zombie: AIP, port: 80 });
+        let arp = mean(ProbeKind::ArpPing);
+        let syn = mean(ProbeKind::TcpSyn { port: 80 });
+        assert!(icmp < idle && idle < arp && arp < syn);
+    }
+
+    #[test]
+    fn arp_probe_broadcasts_and_matches_reply() {
+        let kind = ProbeKind::ArpPing;
+        let probe = kind.build_probe(AMAC, AIP, VMAC, VIP, 1).unwrap();
+        assert!(probe.dst.is_broadcast());
+        let req = probe.arp().unwrap();
+        let reply = EthernetFrame::new(
+            VMAC,
+            AMAC,
+            Payload::Arp(ArpPacket::reply_to(req, VMAC)),
+        );
+        assert!(kind.is_reply(&reply, VIP));
+        assert!(!kind.is_reply(&probe, VIP));
+    }
+
+    #[test]
+    fn tcp_syn_accepts_syn_ack_or_rst() {
+        let kind = ProbeKind::TcpSyn { port: 80 };
+        let probe = kind.build_probe(AMAC, AIP, VMAC, VIP, 3).unwrap();
+        let syn = match &probe.ipv4().unwrap().transport {
+            Transport::Tcp(t) => t.clone(),
+            _ => unreachable!(),
+        };
+        for seg in [TcpSegment::syn_ack_to(&syn, 1), TcpSegment::rst_to(&syn)] {
+            let reply = EthernetFrame::new(
+                VMAC,
+                AMAC,
+                Payload::Ipv4(Ipv4Packet::new(VIP, AIP, Transport::Tcp(seg))),
+            );
+            assert!(kind.is_reply(&reply, VIP));
+        }
+    }
+
+    #[test]
+    fn paper_timeout_derivation() {
+        let timeout = derive_probe_timeout(20.0, 5.0, 0.01);
+        let ms = timeout.as_millis_f64();
+        assert!((ms - 31.6).abs() < 0.1, "derived {ms} ms");
+        assert!(ms < 35.0, "the paper rounds up to 35 ms");
+    }
+
+    #[test]
+    fn stealth_ordering() {
+        use tm_ids::Stealth;
+        assert_eq!(ProbeKind::IcmpPing.timing().stealth, Stealth::Low);
+        assert_eq!(ProbeKind::TcpSyn { port: 1 }.timing().stealth, Stealth::Medium);
+        assert_eq!(ProbeKind::ArpPing.timing().stealth, Stealth::High);
+        assert_eq!(
+            ProbeKind::IdleScan { zombie: AIP, port: 1 }.timing().stealth,
+            Stealth::VeryHigh
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Flow-table benchmarks: match/insert/expire at realistic table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use openflow::{Action, FlowEntry, FlowMatch, FlowTable, MatchOutcome};
+use sdn_types::packet::{EthernetFrame, Payload};
+use sdn_types::{Duration, MacAddr, PortNo, SimTime};
+
+fn table_with(n: u32) -> FlowTable {
+    let mut table = FlowTable::new();
+    for i in 0..n {
+        let entry = FlowEntry::new(
+            FlowMatch::new()
+                .with_eth_src(MacAddr::from_index(i))
+                .with_eth_dst(MacAddr::from_index(i + 1)),
+            vec![Action::Output(PortNo::new((i % 8) as u16 + 1))],
+        )
+        .with_idle_timeout(Duration::from_secs(5));
+        table.insert(entry, SimTime::ZERO);
+    }
+    table
+}
+
+fn frame(src: u32, dst: u32) -> EthernetFrame {
+    EthernetFrame::new(
+        MacAddr::from_index(src),
+        MacAddr::from_index(dst),
+        Payload::Opaque {
+            ethertype: 0x1234,
+            data: vec![0; 64],
+        },
+    )
+}
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowtable_match");
+    for n in [10u32, 100, 1000] {
+        // Hit in the middle of the table.
+        let hit = frame(n / 2, n / 2 + 1);
+        let miss = frame(n + 10, n + 11);
+        group.bench_with_input(BenchmarkId::new("hit", n), &n, |b, &n| {
+            let mut table = table_with(n);
+            b.iter(|| {
+                matches!(
+                    table.process(black_box(&hit), PortNo::new(1), SimTime::ZERO),
+                    MatchOutcome::Forward { .. }
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, &n| {
+            let mut table = table_with(n);
+            b.iter(|| {
+                matches!(
+                    table.process(black_box(&miss), PortNo::new(1), SimTime::ZERO),
+                    MatchOutcome::Miss
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_and_expire(c: &mut Criterion) {
+    c.bench_function("flowtable_insert_1000", |b| {
+        b.iter(|| black_box(table_with(1000)).len())
+    });
+    c.bench_function("flowtable_expire_scan_1000", |b| {
+        let table = table_with(1000);
+        b.iter_batched(
+            || table.clone(),
+            |mut t| t.expire(SimTime::from_secs(1)).len(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_match, bench_insert_and_expire);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks for packet encode/parse — the per-frame cost floor of
+//! the whole simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdn_types::packet::{
+    ArpPacket, EthernetFrame, IcmpPacket, Ipv4Packet, LldpPacket, Payload, TcpSegment, Transport,
+};
+use sdn_types::{DatapathId, IpAddr, MacAddr, PortNo};
+
+fn frames() -> Vec<(&'static str, EthernetFrame)> {
+    let src = MacAddr::from_index(1);
+    let dst = MacAddr::from_index(2);
+    vec![
+        (
+            "arp",
+            EthernetFrame::new(
+                src,
+                MacAddr::BROADCAST,
+                Payload::Arp(ArpPacket::request(
+                    src,
+                    IpAddr::new(10, 0, 0, 1),
+                    IpAddr::new(10, 0, 0, 2),
+                )),
+            ),
+        ),
+        (
+            "icmp",
+            EthernetFrame::new(
+                src,
+                dst,
+                Payload::Ipv4(Ipv4Packet::new(
+                    IpAddr::new(10, 0, 0, 1),
+                    IpAddr::new(10, 0, 0, 2),
+                    Transport::Icmp(IcmpPacket::echo_request(1, 1, vec![0xAB; 32])),
+                )),
+            ),
+        ),
+        (
+            "tcp_syn",
+            EthernetFrame::new(
+                src,
+                dst,
+                Payload::Ipv4(Ipv4Packet::new(
+                    IpAddr::new(10, 0, 0, 1),
+                    IpAddr::new(10, 0, 0, 2),
+                    Transport::Tcp(TcpSegment::syn(40_000, 80, 7)),
+                )),
+            ),
+        ),
+        (
+            "lldp",
+            EthernetFrame::new(
+                src,
+                MacAddr::LLDP_MULTICAST,
+                Payload::Lldp(LldpPacket::new(DatapathId::new(1), PortNo::new(1))),
+            ),
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for (name, frame) in frames() {
+        group.bench_function(name, |b| b.iter(|| black_box(&frame).encode()));
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for (name, frame) in frames() {
+        let wire = frame.encode();
+        group.bench_function(name, |b| {
+            b.iter(|| EthernetFrame::parse(black_box(&wire)).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! End-to-end simulation throughput: how much wall-clock a simulated
+//! second costs with the full controller + defense stack running, and the
+//! cost of a complete hijack scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use controller::ControllerConfig;
+use netsim::apps::PeriodicPinger;
+use netsim::{LinkProfile, NetworkSpec, Simulator};
+use sdn_types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo};
+use tm_core::hijack::{self, HijackScenario};
+use tm_core::DefenseStack;
+
+fn busy_network(stack: DefenseStack) -> Simulator {
+    let mut spec = NetworkSpec::new();
+    let link = LinkProfile::fixed(Duration::from_millis(2));
+    for s in 1..=4u64 {
+        spec.add_switch(DatapathId::new(s));
+    }
+    for s in 1..4u64 {
+        spec.link_switches(
+            DatapathId::new(s),
+            PortNo::new(2),
+            DatapathId::new(s + 1),
+            PortNo::new(3),
+            link,
+        );
+    }
+    for h in 1..=8u32 {
+        let host = HostId::new(h);
+        spec.add_host(host, MacAddr::from_index(h), IpAddr::new(10, 0, 0, h as u8));
+        spec.attach_host(
+            host,
+            DatapathId::new(u64::from((h - 1) % 4) + 1),
+            PortNo::new(10 + (h as u16 - 1) / 4),
+            link,
+        );
+        let peer = IpAddr::new(10, 0, 0, (h % 8 + 1) as u8);
+        spec.set_host_app(host, Box::new(PeriodicPinger::new(peer, Duration::from_millis(50))));
+    }
+    spec.set_controller(Box::new(stack.build_controller(ControllerConfig::default())));
+    Simulator::new(spec, 7)
+}
+
+fn bench_simulated_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_second_8_hosts_4_switches");
+    group.sample_size(10);
+    for stack in [DefenseStack::None, DefenseStack::TopoGuardPlus] {
+        group.bench_function(format!("{stack}"), |b| {
+            b.iter_batched(
+                || busy_network(stack),
+                |mut sim| {
+                    sim.run_for(Duration::from_secs(1));
+                    sim.now()
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_hijack_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    group.bench_function("hijack_end_to_end", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            hijack::run(&HijackScenario {
+                victim_rejoins: false,
+                tail: Duration::from_millis(100),
+                ..HijackScenario::new(DefenseStack::TopoGuardSphinx, seed)
+            })
+            .hijack_succeeded()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_second, bench_full_hijack_scenario);
+criterion_main!(benches);

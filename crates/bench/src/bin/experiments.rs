@@ -1,0 +1,128 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- table1
+//! cargo run --release -p bench --bin experiments -- fig5 --trials 500
+//! ```
+
+use bench::{ablation, figures, sweeps, tables};
+use tm_core::matrix;
+
+const SEED: u64 = 0xD5_2018;
+
+fn write_json(path: &Option<String>, entries: &[tm_core::MatrixEntry]) {
+    if let Some(path) = path {
+        let json = serde_json::to_string_pretty(entries).expect("matrix serializes");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id> [--trials N] [--seed N] [--json FILE]\n\
+         ids: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13\n\
+              matrix matrix_extended scan_detection alert_flood downtime ablations\n\
+              ablation_lli ablation_amnesia ablation_timeout all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(id) = args.first() else { usage() };
+    let mut trials = 200usize;
+    let mut seed = SEED;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json_path = args.get(i + 1).cloned();
+                if json_path.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--trials" => {
+                trials = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    match id.as_str() {
+        "table1" => println!("{}", tables::table1(seed)),
+        "table2" => println!("{}", tables::table2()),
+        "table3" => println!("{}", tables::table3(seed)),
+        "fig4" => println!("{}", figures::fig4(seed, trials.max(1000))),
+        // Figs. 5-8 come from the same trial batch.
+        "fig5" | "fig6" | "fig7" | "fig8" => println!("{}", figures::figs5_to_8(seed, trials)),
+        "fig10" => println!("{}", figures::fig10(seed, 100)),
+        "fig11" | "fig13" => println!("{}", figures::fig11(seed)),
+        "fig12" => {
+            println!("{}", figures::fig12(seed));
+            println!("alert log:");
+            for line in figures::fig12_alerts(seed).iter().take(6) {
+                println!("  {line}");
+            }
+        }
+        "matrix" => {
+            let entries = matrix::run_matrix(seed);
+            println!("{}", matrix::render(&entries));
+            write_json(&json_path, &entries);
+        }
+        "matrix_extended" => {
+            let entries = matrix::run_matrix_extended(seed);
+            println!("{}", matrix::render(&entries));
+            write_json(&json_path, &entries);
+        }
+        "scan_detection" => println!("{}", sweeps::scan_detection()),
+        "alert_flood" => println!("{}", sweeps::alert_flood(seed)),
+        "downtime" => println!("{}", sweeps::downtime_windows(80.0)),
+        "ablation_lli" => println!("{}", ablation::lli_fence_sweep(seed)),
+        "ablation_amnesia" => println!("{}", ablation::amnesia_hold_sweep(seed)),
+        "ablation_timeout" => println!("{}", ablation::probe_timeout_sweep(seed)),
+        "ablations" => {
+            println!("{}", ablation::lli_fence_sweep(seed));
+            println!("{}", ablation::amnesia_hold_sweep(seed));
+            println!("{}", ablation::probe_timeout_sweep(seed));
+        }
+        "all" => {
+            println!("{}", tables::table1(seed));
+            println!("{}", tables::table2());
+            println!("{}", tables::table3(seed));
+            println!("{}", figures::fig4(seed, 1000));
+            println!("{}", figures::figs5_to_8(seed, trials));
+            println!("{}", figures::fig10(seed, 100));
+            println!("{}", figures::fig11(seed));
+            println!("{}", figures::fig12(seed));
+            for line in figures::fig12_alerts(seed).iter().take(6) {
+                println!("  {line}");
+            }
+            println!();
+            println!("DETECTION MATRIX (headline result)\n");
+            let entries = matrix::run_matrix(seed);
+            println!("{}", matrix::render(&entries));
+            println!("{}", sweeps::scan_detection());
+            println!("{}", sweeps::alert_flood(seed));
+            println!("{}", sweeps::downtime_windows(80.0));
+            println!("{}", ablation::lli_fence_sweep(seed));
+            println!("{}", ablation::amnesia_hold_sweep(seed));
+            println!("{}", ablation::probe_timeout_sweep(seed));
+        }
+        _ => usage(),
+    }
+}

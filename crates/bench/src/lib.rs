@@ -1,0 +1,15 @@
+//! Experiment implementations regenerating every table and figure of the
+//! paper, plus shared measurement utilities.
+//!
+//! Run them through the `experiments` binary:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- table1
+//! cargo run --release -p bench --bin experiments -- fig11
+//! ```
+
+pub mod ablation;
+pub mod figures;
+pub mod sweeps;
+pub mod tables;

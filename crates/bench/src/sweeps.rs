@@ -1,0 +1,149 @@
+//! Parameter sweeps: scan-rate detection (§V-B2), alert flooding (§IV-B),
+//! and downtime-window coverage (§IV-B2).
+
+use sdn_types::packet::{ArpPacket, EthernetFrame, Ipv4Packet, Payload, TcpSegment, Transport};
+use sdn_types::{Duration, IpAddr, MacAddr, SimTime};
+use tm_core::floodsc::{self, FloodScenario};
+use tm_core::DefenseStack;
+use tm_ids::{IdsConfig, IdsEngine, IdsRule};
+
+const ATTACKER: IpAddr = IpAddr::new(10, 0, 0, 66);
+const VICTIM: IpAddr = IpAddr::new(10, 0, 0, 1);
+
+/// §V-B2: at what rates do the Proofpoint-style Snort rules flag TCP SYN
+/// and ARP liveness probing? (Paper: SYN scans above 2/s detected; ARP
+/// probing never detected, even at the chosen 1-probe-per-50-ms rate.)
+pub fn scan_detection() -> String {
+    let mut out = String::from(
+        "SCAN DETECTION (Snort-style rules, 30 s of probing per rate)\n\n",
+    );
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>14}\n",
+        "rate (/s)", "TCP SYN", "ARP ping"
+    ));
+    for rate in [1u64, 2, 3, 5, 10, 20, 50] {
+        let syn = run_rate(rate, true);
+        let arp = run_rate(rate, false);
+        out.push_str(&format!(
+            "{:>12} {:>14} {:>14}\n",
+            rate,
+            if syn { "DETECTED" } else { "undetected" },
+            if arp { "DETECTED" } else { "undetected" },
+        ));
+    }
+    out.push_str("\n(paper: SYN scans above 2/s are detected; targeted ARP probing is not —\n which is why the attack settles on ARP pings every 50 ms)\n");
+    out
+}
+
+fn run_rate(per_sec: u64, syn: bool) -> bool {
+    let mut ids = IdsEngine::new(IdsConfig::default());
+    let interval_ns = 1_000_000_000 / per_sec;
+    let attacker_mac = MacAddr::from_index(66);
+    let victim_mac = MacAddr::from_index(1);
+    for i in 0..(30 * per_sec) {
+        let at = SimTime::from_nanos(i * interval_ns);
+        let frame = if syn {
+            EthernetFrame::new(
+                attacker_mac,
+                victim_mac,
+                Payload::Ipv4(Ipv4Packet::new(
+                    ATTACKER,
+                    VICTIM,
+                    Transport::Tcp(TcpSegment::syn(40_000, 80, i as u32)),
+                )),
+            )
+        } else {
+            EthernetFrame::new(
+                attacker_mac,
+                MacAddr::BROADCAST,
+                Payload::Arp(ArpPacket::request(attacker_mac, ATTACKER, VICTIM)),
+            )
+        };
+        ids.observe(at, &frame);
+    }
+    ids.detected(IdsRule::TcpSynScan) || ids.detected(IdsRule::ArpDiscoveryFlood)
+}
+
+/// §IV-B2: how much of each migration downtime window remains usable after
+/// the ~80 ms hijack completion measured in our trials? (Paper: live VM
+/// migration gives seconds; maintenance gives minutes-to-hours.)
+pub fn downtime_windows(hijack_completion_ms: f64) -> String {
+    let mut out = String::from("DOWNTIME WINDOW COVERAGE (§IV-B2)\n\n");
+    out.push_str(&format!(
+        "{:<30} {:>12} {:>20}\n",
+        "scenario", "window", "usable for attacker"
+    ));
+    for (name, window_ms) in [
+        ("Xen/VMware live migration", 3_000.0),
+        ("container restart", 10_000.0),
+        ("server patching (minutes)", 600_000.0),
+        ("maintenance (hours)", 7_200_000.0),
+    ] {
+        let usable = (window_ms - hijack_completion_ms) / window_ms * 100.0;
+        out.push_str(&format!(
+            "{:<30} {:>12} {:>19.1}%\n",
+            name,
+            format_window(window_ms),
+            usable
+        ));
+    }
+    out
+}
+
+fn format_window(ms: f64) -> String {
+    if ms >= 3_600_000.0 {
+        format!("{:.0} h", ms / 3_600_000.0)
+    } else if ms >= 60_000.0 {
+        format!("{:.0} min", ms / 60_000.0)
+    } else {
+        format!("{:.0} s", ms / 1_000.0)
+    }
+}
+
+/// The alert-flood sweep: alert volume vs spoof rate under TopoGuard.
+pub fn alert_flood(seed: u64) -> String {
+    let mut out = String::from("ALERT FLOODING (§IV-B): operator alert volume vs spoof rate\n\n");
+    out.push_str(&format!(
+        "{:>14} {:>12} {:>12} {:>14}\n",
+        "spoofs/s", "spoofs sent", "alerts", "alerts/s"
+    ));
+    for rate in [1u64, 5, 10, 20, 50] {
+        let outcome = floodsc::run(&FloodScenario {
+            spoof_rate_per_sec: rate,
+            run_for: Duration::from_secs(20),
+            ..FloodScenario::new(DefenseStack::TopoGuard, seed)
+        });
+        out.push_str(&format!(
+            "{:>14} {:>12} {:>12} {:>14.1}\n",
+            rate, outcome.spoofs_sent, outcome.alerts_total, outcome.alerts_per_sec
+        ));
+    }
+    out.push_str("\n(every spoofed frame is a migration with no Port-Down pre-condition: one alert\n each, and the operator cannot tell them from a real hijack)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syn_detection_threshold_is_2_per_sec() {
+        assert!(!run_rate(1, true));
+        assert!(!run_rate(2, true), "exactly 2/s is not *above* the threshold");
+        assert!(run_rate(3, true));
+        assert!(run_rate(20, true));
+    }
+
+    #[test]
+    fn arp_probing_undetected_at_all_rates() {
+        for rate in [1, 5, 20, 50] {
+            assert!(!run_rate(rate, false), "ARP at {rate}/s must stay undetected");
+        }
+    }
+
+    #[test]
+    fn downtime_table_shows_high_coverage() {
+        let t = downtime_windows(80.0);
+        assert!(t.contains("97.3%"), "{t}"); // 3 s migration window
+    }
+}

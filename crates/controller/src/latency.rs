@@ -1,0 +1,122 @@
+//! Control-link latency tracking via OpenFlow echoes.
+//!
+//! TopoGuard+ estimates switch-link latency as `T_LLDP − T_SW1 − T_SW2`
+//! (§VI-D). The `T_SW` terms come from echo round trips: "we take the
+//! average of the latest three latency measurements of the control links in
+//! order to minimize variance."
+
+use std::collections::{BTreeMap, VecDeque};
+
+use sdn_types::{DatapathId, Duration, SimTime};
+
+/// How many recent RTTs the paper averages.
+pub const SAMPLES_AVERAGED: usize = 3;
+
+/// Tracks per-switch control-channel round-trip times.
+#[derive(Clone, Debug, Default)]
+pub struct CtrlLatencyTracker {
+    rtts: BTreeMap<DatapathId, VecDeque<Duration>>,
+    outstanding: BTreeMap<u64, (DatapathId, SimTime)>,
+}
+
+impl CtrlLatencyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CtrlLatencyTracker::default()
+    }
+
+    /// Records that an echo with transaction id `xid` was sent to `dpid`.
+    pub fn echo_sent(&mut self, xid: u64, dpid: DatapathId, at: SimTime) {
+        self.outstanding.insert(xid, (dpid, at));
+    }
+
+    /// Records an echo reply; returns the measured RTT if the xid was known.
+    pub fn echo_received(&mut self, xid: u64, now: SimTime) -> Option<Duration> {
+        let (dpid, sent) = self.outstanding.remove(&xid)?;
+        let rtt = now.since(sent);
+        let window = self.rtts.entry(dpid).or_default();
+        if window.len() == SAMPLES_AVERAGED {
+            window.pop_front();
+        }
+        window.push_back(rtt);
+        Some(rtt)
+    }
+
+    /// The average of the latest three RTTs for `dpid`, or `None` if no
+    /// measurement has completed yet.
+    pub fn avg_rtt(&self, dpid: DatapathId) -> Option<Duration> {
+        let window = self.rtts.get(&dpid)?;
+        if window.is_empty() {
+            return None;
+        }
+        let total: u64 = window.iter().map(|d| d.as_nanos()).sum();
+        Some(Duration::from_nanos(total / window.len() as u64))
+    }
+
+    /// The estimated one-way control-link delay (`T_SW`): half the averaged
+    /// RTT.
+    pub fn one_way(&self, dpid: DatapathId) -> Option<Duration> {
+        self.avg_rtt(dpid).map(|rtt| rtt.div(2))
+    }
+
+    /// Number of switches with at least one completed measurement.
+    pub fn measured_switches(&self) -> usize {
+        self.rtts.values().filter(|w| !w.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SW: DatapathId = DatapathId::new(7);
+
+    #[test]
+    fn rtt_measurement_round_trip() {
+        let mut t = CtrlLatencyTracker::new();
+        t.echo_sent(1, SW, SimTime::from_millis(100));
+        let rtt = t.echo_received(1, SimTime::from_millis(102)).unwrap();
+        assert_eq!(rtt, Duration::from_millis(2));
+        assert_eq!(t.avg_rtt(SW), Some(Duration::from_millis(2)));
+        assert_eq!(t.one_way(SW), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn unknown_xid_ignored() {
+        let mut t = CtrlLatencyTracker::new();
+        assert!(t.echo_received(99, SimTime::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn averages_latest_three_only() {
+        let mut t = CtrlLatencyTracker::new();
+        // Four echoes with RTTs 10, 2, 4, 6 ms: the first must fall out.
+        for (i, (sent, rtt)) in [(0u64, 10u64), (20, 2), (40, 4), (60, 6)].iter().enumerate() {
+            let xid = i as u64;
+            t.echo_sent(xid, SW, SimTime::from_millis(*sent));
+            t.echo_received(xid, SimTime::from_millis(sent + rtt));
+        }
+        assert_eq!(t.avg_rtt(SW), Some(Duration::from_millis(4)));
+    }
+
+    #[test]
+    fn no_measurement_is_none() {
+        let t = CtrlLatencyTracker::new();
+        assert!(t.avg_rtt(SW).is_none());
+        assert!(t.one_way(SW).is_none());
+        assert_eq!(t.measured_switches(), 0);
+    }
+
+    #[test]
+    fn tracks_switches_independently() {
+        let mut t = CtrlLatencyTracker::new();
+        let sw2 = DatapathId::new(8);
+        t.echo_sent(1, SW, SimTime::from_millis(0));
+        t.echo_received(1, SimTime::from_millis(2));
+        t.echo_sent(2, sw2, SimTime::from_millis(0));
+        t.echo_received(2, SimTime::from_millis(8));
+        assert_eq!(t.avg_rtt(SW), Some(Duration::from_millis(2)));
+        assert_eq!(t.avg_rtt(sw2), Some(Duration::from_millis(8)));
+        assert_eq!(t.measured_switches(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Test support: drive a [`DefenseModule`](crate::DefenseModule) directly,
+//! without a simulator or controller.
+//!
+//! Intended for unit tests of defense logic (and used by the `topoguard`
+//! and `sphinx` test suites); not part of the stable API surface.
+
+use openflow::OfMessage;
+use sdn_types::crypto::Key;
+use sdn_types::{DatapathId, SimTime};
+
+use crate::alerts::AlertSink;
+use crate::devices::DeviceTable;
+use crate::latency::CtrlLatencyTracker;
+use crate::module::ModuleCtx;
+use crate::topology::Topology;
+
+/// Owns the state a [`ModuleCtx`] borrows, so tests can create contexts at
+/// successive timestamps and inspect alerts/outbox in between.
+pub struct ModuleHarness {
+    /// The alert sink modules raise into.
+    pub alerts: AlertSink,
+    /// The topology view modules read.
+    pub topology: Topology,
+    /// The device table modules read.
+    pub devices: DeviceTable,
+    /// Control-link latency estimates modules read.
+    pub latency: CtrlLatencyTracker,
+    /// Messages modules queued via [`ModuleCtx::send`].
+    pub outbox: Vec<(DatapathId, OfMessage)>,
+    /// The controller key handed to modules.
+    pub key: Key,
+}
+
+impl Default for ModuleHarness {
+    fn default() -> Self {
+        ModuleHarness::new()
+    }
+}
+
+impl ModuleHarness {
+    /// Creates an empty harness with a fixed test key.
+    pub fn new() -> Self {
+        ModuleHarness {
+            alerts: AlertSink::new(),
+            topology: Topology::new(),
+            devices: DeviceTable::new(),
+            latency: CtrlLatencyTracker::new(),
+            outbox: Vec::new(),
+            key: Key::from_seed(0xBEEF),
+        }
+    }
+
+    /// Produces a context at `now`, borrowing the harness state.
+    pub fn ctx(&mut self, now: SimTime) -> ModuleCtx<'_> {
+        ModuleCtx {
+            now,
+            alerts: &mut self.alerts,
+            topology: &self.topology,
+            devices: &self.devices,
+            latency: &self.latency,
+            lldp_key: self.key,
+            outbox: &mut self.outbox,
+        }
+    }
+}

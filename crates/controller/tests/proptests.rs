@@ -1,0 +1,130 @@
+//! Property tests for controller data structures: host tracking under
+//! arbitrary observation sequences, topology expiry invariants, and
+//! shortest-path sanity.
+
+use proptest::prelude::*;
+
+use controller::{DeviceTable, DirectedLink, Topology};
+use sdn_types::{DatapathId, Duration, MacAddr, PortNo, SimTime, SwitchPort};
+
+fn sp(d: u8, p: u8) -> SwitchPort {
+    SwitchPort::new(DatapathId::new(u64::from(d) % 4 + 1), PortNo::new(u16::from(p) % 8 + 1))
+}
+
+proptest! {
+    /// After any observation sequence, each device's location equals the
+    /// location of its most recent observation, and move_count equals the
+    /// number of location changes.
+    #[test]
+    fn device_table_tracks_last_observation(
+        obs in proptest::collection::vec((0u8..5, 0u8..4, 0u8..8), 1..100)
+    ) {
+        let mut table = DeviceTable::new();
+        let mut expected: std::collections::BTreeMap<u8, (SwitchPort, u64)> =
+            std::collections::BTreeMap::new();
+        for (i, (mac_i, d, p)) in obs.iter().enumerate() {
+            let mac = MacAddr::from_index(u32::from(*mac_i));
+            let loc = sp(*d, *p);
+            table.commit(mac, None, loc, SimTime::from_millis(i as u64));
+            let entry = expected.entry(*mac_i).or_insert((loc, 0));
+            if entry.0 != loc {
+                entry.1 += 1;
+                entry.0 = loc;
+            }
+        }
+        for (mac_i, (loc, moves)) in expected {
+            let mac = MacAddr::from_index(u32::from(mac_i));
+            let dev = table.get(&mac).expect("committed");
+            prop_assert_eq!(dev.location, loc);
+            prop_assert_eq!(dev.move_count, moves);
+        }
+    }
+
+    /// classify() never mutates, and commit() after a Moved classification
+    /// always lands on the new location.
+    #[test]
+    fn classify_commit_agree(
+        first in (0u8..4, 0u8..8),
+        second in (0u8..4, 0u8..8),
+    ) {
+        let mac = MacAddr::from_index(7);
+        let mut table = DeviceTable::new();
+        let loc1 = sp(first.0, first.1);
+        let loc2 = sp(second.0, second.1);
+        table.commit(mac, None, loc1, SimTime::ZERO);
+        let snapshot = table.location_of(&mac);
+        let _ = table.classify(mac, None, loc2, SimTime::from_secs(1));
+        prop_assert_eq!(table.location_of(&mac), snapshot, "classify must not mutate");
+        table.commit(mac, None, loc2, SimTime::from_secs(1));
+        prop_assert_eq!(table.location_of(&mac), Some(loc2));
+    }
+
+    /// Expiry removes exactly the links older than the timeout, never
+    /// younger ones.
+    #[test]
+    fn topology_expiry_is_exact(
+        links in proptest::collection::vec(((0u8..4, 0u8..8), (0u8..4, 0u8..8), 0u64..100), 1..50),
+        timeout_s in 1u64..50,
+        now_s in 50u64..200,
+    ) {
+        let mut topo = Topology::new();
+        let mut expected_alive = std::collections::BTreeSet::new();
+        for ((sd, spp), (dd, dp), seen) in &links {
+            let link = DirectedLink::new(sp(*sd, *spp), sp(*dd, *dp));
+            // Later observations refresh earlier ones; emulate by keeping max.
+            topo.observe(link, SimTime::from_secs(*seen), None);
+        }
+        // Recompute expected from final last_seen values.
+        let snapshot: Vec<(DirectedLink, SimTime)> = topo
+            .links()
+            .map(|(l, s)| (*l, s.last_seen))
+            .collect();
+        for (link, last_seen) in &snapshot {
+            if SimTime::from_secs(now_s).since(*last_seen) < Duration::from_secs(timeout_s) {
+                expected_alive.insert(*link);
+            }
+        }
+        let removed = topo.expire(SimTime::from_secs(now_s), Duration::from_secs(timeout_s));
+        for link in &removed {
+            prop_assert!(!expected_alive.contains(link), "young link expired: {link:?}");
+        }
+        prop_assert_eq!(topo.len(), expected_alive.len());
+    }
+
+    /// Any path returned by shortest_path is connected (each hop starts at
+    /// the previous hop's destination switch) and begins/ends correctly.
+    #[test]
+    fn shortest_paths_are_connected(
+        links in proptest::collection::vec(((0u8..4, 0u8..8), (0u8..4, 0u8..8)), 1..40),
+        from in 0u8..4,
+        to in 0u8..4,
+    ) {
+        let mut topo = Topology::new();
+        for ((sd, spp), (dd, dp)) in &links {
+            topo.observe(
+                DirectedLink::new(sp(*sd, *spp), sp(*dd, *dp)),
+                SimTime::ZERO,
+                None,
+            );
+        }
+        let from = DatapathId::new(u64::from(from) % 4 + 1);
+        let to = DatapathId::new(u64::from(to) % 4 + 1);
+        if let Some(path) = topo.shortest_path(from, to) {
+            if from == to {
+                prop_assert!(path.is_empty());
+            } else {
+                prop_assert_eq!(path.first().unwrap().src.dpid, from);
+                prop_assert_eq!(path.last().unwrap().dst.dpid, to);
+                for pair in path.windows(2) {
+                    prop_assert_eq!(pair[0].dst.dpid, pair[1].src.dpid);
+                }
+                // BFS shortest: no repeated switches.
+                let mut seen = std::collections::BTreeSet::new();
+                seen.insert(from);
+                for hop in &path {
+                    prop_assert!(seen.insert(hop.dst.dpid), "loop in path");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The Port Probing / host-location-hijacking scenario (§IV-B, §V-B),
+//! with the Fig. 3 timeline fully instrumented.
+//!
+//! Sequence of events (times relative to scenario start):
+//!
+//! 1. The network settles; the attacker arpings the victim and begins
+//!    ARP-probing it every 50 ms with a 35 ms timeout.
+//! 2. At `victim_down_at` the victim begins a migration: its interface
+//!    drops (a Port-Down follows within the 802.3 pulse window).
+//! 3. The attacker's next probe times out; it `ifconfig`s itself into the
+//!    victim's identity and originates traffic.
+//! 4. The controller registers the "migration" onto the attacker's port —
+//!    the hijack is complete.
+//! 5. Optionally, after `downtime`, the victim completes its real move at
+//!    its destination port and starts talking — producing the identifier
+//!    oscillation that finally trips anomaly detectors.
+
+use attacks::{PortProbingAttacker, ProbingConfig, ProbingTimeline};
+use controller::{AlertKind, ControllerConfig, SdnController};
+use netsim::apps::PeriodicPinger;
+use netsim::Simulator;
+use sdn_types::{Duration, SimTime};
+
+use crate::defense::DefenseStack;
+use crate::testbed;
+
+/// Scenario parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HijackScenario {
+    /// The defense stack.
+    pub stack: DefenseStack,
+    /// RNG seed.
+    pub seed: u64,
+    /// When the victim goes down (must leave time for the network to
+    /// settle and the attacker to acquire the victim's MAC).
+    pub victim_down_at: SimTime,
+    /// The victim's migration downtime window (VM live migration: order of
+    /// seconds, §IV-B2).
+    pub downtime: Duration,
+    /// Whether the victim completes its move at the new location (step 5).
+    pub victim_rejoins: bool,
+    /// How long to run after the victim (maybe) rejoins.
+    pub tail: Duration,
+}
+
+impl HijackScenario {
+    /// Defaults: victim drops at t=3 s, a 2 s migration window, rejoin on.
+    pub fn new(stack: DefenseStack, seed: u64) -> Self {
+        HijackScenario {
+            stack,
+            seed,
+            victim_down_at: SimTime::from_secs(3),
+            downtime: Duration::from_secs(2),
+            victim_rejoins: true,
+            tail: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Scenario outcome.
+#[derive(Clone, Debug)]
+pub struct HijackOutcome {
+    /// When the victim actually went down (scripted).
+    pub victim_down_at: SimTime,
+    /// The attacker's internal timeline (Figs. 4, 5, 7, 8).
+    pub timeline: ProbingTimeline,
+    /// When the controller's HTS first bound the victim's MAC to the
+    /// attacker's port (Fig. 6's "controller Packet-In"), if the hijack
+    /// landed.
+    pub controller_ack_at: Option<SimTime>,
+    /// Alerts raised before the victim rejoined (stealth window).
+    pub alerts_before_rejoin: usize,
+    /// Alerts raised in total.
+    pub alerts_total: usize,
+    /// Identifier-conflict (oscillation) alerts.
+    pub conflict_alerts: usize,
+    /// Migration-verification alerts.
+    pub migration_alerts: usize,
+    /// Pings the benign client completed against "the victim" during the
+    /// impersonation window (traffic captured by the attacker).
+    pub client_pings_during_hijack: u64,
+}
+
+impl HijackOutcome {
+    /// The hijack succeeded: the controller bound the victim's identity to
+    /// the attacker's port.
+    pub fn hijack_succeeded(&self) -> bool {
+        self.controller_ack_at.is_some()
+    }
+
+    /// Undetected during the impersonation window (the paper's claim: no
+    /// policy is violated until the victim rejoins).
+    pub fn undetected_before_rejoin(&self) -> bool {
+        self.alerts_before_rejoin == 0
+    }
+
+    /// Victim-down → attacker believes victim down (Fig. 8), ms.
+    pub fn detect_delay_ms(&self) -> Option<f64> {
+        Some(
+            self.timeline
+                .believed_down_at?
+                .since(self.victim_down_at)
+                .as_millis_f64(),
+        )
+    }
+
+    /// Victim-down → attacker interface up as victim (Fig. 5), ms.
+    pub fn iface_up_delay_ms(&self) -> Option<f64> {
+        Some(
+            self.timeline
+                .iface_up_at?
+                .since(self.victim_down_at)
+                .as_millis_f64(),
+        )
+    }
+
+    /// Victim-down → controller acknowledges the attacker as the victim
+    /// (Fig. 6), ms.
+    pub fn controller_ack_delay_ms(&self) -> Option<f64> {
+        Some(
+            self.controller_ack_at?
+                .since(self.victim_down_at)
+                .as_millis_f64(),
+        )
+    }
+
+    /// Victim-down → start of the attacker's final (timed-out) probe
+    /// (Fig. 7), ms. Negative values (probe began just before the victim
+    /// dropped) are clamped to zero by the virtual clock, so this reports
+    /// a signed value computed from raw nanoseconds.
+    pub fn final_probe_start_delay_ms(&self) -> Option<f64> {
+        let probe = self.timeline.final_probe_start?;
+        Some(
+            (probe.as_nanos() as f64 - self.victim_down_at.as_nanos() as f64) / 1e6,
+        )
+    }
+}
+
+/// Runs the scenario.
+pub fn run(scenario: &HijackScenario) -> HijackOutcome {
+    let (mut spec, ids) = testbed::hijack_spec(scenario.stack, ControllerConfig::default());
+    let probing = ProbingConfig::paper_default(ids.victim_ip, ids.client_ip);
+    spec.set_host_app(ids.attacker, Box::new(PortProbingAttacker::new(probing)));
+    // The benign client keeps a session toward the victim.
+    spec.set_host_app(
+        ids.client,
+        Box::new(PeriodicPinger::new(ids.victim_ip, Duration::from_millis(250))),
+    );
+    // The migration-destination NIC needs an app slot so the scenario can
+    // script its rejoin traffic.
+    spec.set_host_app(ids.victim_new, Box::new(netsim::NullHostApp));
+
+    let mut sim = Simulator::new(spec, scenario.seed);
+    // The migration-destination NIC starts down.
+    sim.host_iface_down(ids.victim_new);
+
+    // With the identifier-binding extension deployed, the orchestrator
+    // attests the *planned* migration (victim -> its destination port).
+    // The attacker's rebind attempt is, of course, never attested.
+    if scenario.stack == DefenseStack::TopoGuardPlusBinding {
+        if let Some(ctrl) = sim.controller_as_mut::<SdnController>() {
+            if let Some(binding) = ctrl.module_as_mut::<topoguard::IdentifierBinding>() {
+                binding.authorize(ids.victim_mac, ids.victim_new_port);
+            }
+        }
+    }
+
+    // Phase 1: settle + monitoring.
+    sim.run_until(scenario.victim_down_at);
+
+    // Phase 2: the victim begins its migration.
+    sim.host_iface_down(ids.victim);
+    let victim_down_at = sim.now();
+
+    // Drive in 1 ms steps until the controller binds the victim's MAC to
+    // the attacker's port (or the downtime window closes).
+    let mut controller_ack_at = None;
+    let rejoin_at = victim_down_at + scenario.downtime;
+    while sim.now() < rejoin_at {
+        sim.run_for(Duration::from_millis(1));
+        let ctrl: &SdnController = sim.controller_as().expect("controller");
+        if controller_ack_at.is_none()
+            && ctrl.devices().location_of(&ids.victim_mac) == Some(ids.attacker_port)
+        {
+            controller_ack_at = Some(sim.now());
+            break;
+        }
+    }
+    let client_pings_at_hijack = sim
+        .host_app_as::<PeriodicPinger>(ids.client)
+        .map(|p| p.received)
+        .unwrap_or(0);
+
+    // Let the impersonation window play out.
+    sim.run_until(rejoin_at);
+    let alerts_before_rejoin = sim
+        .controller_as::<SdnController>()
+        .expect("controller")
+        .alerts()
+        .len();
+    let client_pings_at_rejoin = sim
+        .host_app_as::<PeriodicPinger>(ids.client)
+        .map(|p| p.received)
+        .unwrap_or(0);
+
+    // Phase 5: the victim completes its move at the destination port.
+    if scenario.victim_rejoins {
+        sim.host_schedule_iface_up(ids.victim_new, Duration::from_millis(1), None);
+        // The rejoined victim originates traffic (it resumes its sessions).
+        sim.run_for(Duration::from_millis(50));
+        sim.with_host_app(ids.victim_new, |_, ctx| {
+            let info = ctx.info();
+            let arp = sdn_types::packet::ArpPacket::request(info.mac, info.ip, ids.client_ip);
+            ctx.send_frame(sdn_types::packet::EthernetFrame::new(
+                info.mac,
+                sdn_types::MacAddr::BROADCAST,
+                sdn_types::packet::Payload::Arp(arp),
+            ));
+        });
+    }
+    sim.run_for(scenario.tail);
+
+    let ctrl: &SdnController = sim.controller_as().expect("controller");
+    let alerts = ctrl.alerts();
+    let timeline = sim
+        .host_app_as::<PortProbingAttacker>(ids.attacker)
+        .map(|a| a.timeline)
+        .unwrap_or_default();
+
+    HijackOutcome {
+        victim_down_at,
+        timeline,
+        controller_ack_at,
+        alerts_before_rejoin,
+        alerts_total: alerts.len(),
+        conflict_alerts: alerts.count(AlertKind::IdentifierConflict),
+        migration_alerts: alerts.count(AlertKind::HostMigrationPrecondition)
+            + alerts.count(AlertKind::HostMigrationPostcondition),
+        client_pings_during_hijack: client_pings_at_rejoin.saturating_sub(client_pings_at_hijack),
+    }
+}

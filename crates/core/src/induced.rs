@@ -1,0 +1,179 @@
+//! Induced migration (§IV-B): instead of waiting for the victim to move,
+//! the attacker *creates* the vulnerable window.
+//!
+//! > "Many hypervisors (e.g., VMware) offer services to automatically
+//! > migrate VMs between servers when CPU or memory resources become
+//! > saturated. An attacker could colocate a host with the target VM and
+//! > mount a denial-of-service attack against those resources (e.g., cache
+//! > page dirtying or heavy disk I/O) until the victim was moved by the
+//! > hypervisor."
+//!
+//! The hypervisor is modeled as an orchestration policy over the victim's
+//! host: once the co-located attacker saturates the shared resource for
+//! longer than the hypervisor's `saturation_patience`, an automatic live
+//! migration begins (interface down at the old port, re-appearing at the
+//! destination port after a `downtime` window). The network-side attacker
+//! runs the standard Port Probing state machine and never needs to know
+//! *when* the migration will fire — its probes discover the window, which
+//! is the whole point.
+
+use attacks::{PortProbingAttacker, ProbingConfig};
+use controller::{ControllerConfig, SdnController};
+use netsim::apps::PeriodicPinger;
+use netsim::Simulator;
+use sdn_types::{Duration, SimTime};
+
+use crate::defense::DefenseStack;
+use crate::hijack::HijackOutcome;
+use crate::testbed;
+
+/// The modeled hypervisor's auto-migration policy.
+#[derive(Clone, Copy, Debug)]
+pub struct HypervisorPolicy {
+    /// Sustained saturation required before a migration is triggered
+    /// (VMware DRS-style hysteresis).
+    pub saturation_patience: Duration,
+    /// The live-migration downtime window (seconds-scale, §IV-B2).
+    pub downtime: Duration,
+}
+
+impl Default for HypervisorPolicy {
+    fn default() -> Self {
+        HypervisorPolicy {
+            saturation_patience: Duration::from_secs(5),
+            downtime: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Scenario parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct InducedMigrationScenario {
+    /// The defense stack.
+    pub stack: DefenseStack,
+    /// RNG seed.
+    pub seed: u64,
+    /// When the co-located attacker begins saturating the shared resource.
+    pub exhaustion_start: SimTime,
+    /// The hypervisor's policy.
+    pub policy: HypervisorPolicy,
+}
+
+impl InducedMigrationScenario {
+    /// Defaults: exhaustion begins at t = 2 s.
+    pub fn new(stack: DefenseStack, seed: u64) -> Self {
+        InducedMigrationScenario {
+            stack,
+            seed,
+            exhaustion_start: SimTime::from_secs(2),
+            policy: HypervisorPolicy::default(),
+        }
+    }
+}
+
+/// Outcome: the standard hijack outcome plus when the hypervisor moved the
+/// victim.
+#[derive(Clone, Debug)]
+pub struct InducedOutcome {
+    /// When the hypervisor initiated the (induced) migration.
+    pub migration_triggered_at: SimTime,
+    /// The hijack outcome during the induced window.
+    pub hijack: HijackOutcome,
+}
+
+/// Runs the scenario.
+pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
+    let (mut spec, ids) = testbed::hijack_spec(scenario.stack, ControllerConfig::default());
+    let probing = ProbingConfig::paper_default(ids.victim_ip, ids.client_ip);
+    spec.set_host_app(ids.attacker, Box::new(PortProbingAttacker::new(probing)));
+    spec.set_host_app(
+        ids.client,
+        Box::new(PeriodicPinger::new(ids.victim_ip, Duration::from_millis(250))),
+    );
+    spec.set_host_app(ids.victim_new, Box::new(netsim::NullHostApp));
+
+    let mut sim = Simulator::new(spec, scenario.seed);
+    sim.host_iface_down(ids.victim_new);
+
+    // The co-located resource exhaustion runs from `exhaustion_start`; the
+    // hypervisor observes sustained saturation and, after its patience
+    // window, live-migrates the victim.
+    let migration_triggered_at =
+        scenario.exhaustion_start + scenario.policy.saturation_patience;
+    sim.run_until(migration_triggered_at);
+    sim.host_iface_down(ids.victim);
+    let victim_down_at = sim.now();
+
+    // Race window: the attacker's probes detect the departure.
+    let mut controller_ack_at = None;
+    let rejoin_at = victim_down_at + scenario.policy.downtime;
+    while sim.now() < rejoin_at {
+        sim.run_for(Duration::from_millis(1));
+        let ctrl: &SdnController = sim.controller_as().expect("controller");
+        if ctrl.devices().location_of(&ids.victim_mac) == Some(ids.attacker_port) {
+            controller_ack_at = Some(sim.now());
+            break;
+        }
+    }
+    sim.run_until(rejoin_at);
+    let alerts_before_rejoin = sim
+        .controller_as::<SdnController>()
+        .expect("controller")
+        .alerts()
+        .len();
+
+    // The hypervisor completes the migration at the destination.
+    sim.host_schedule_iface_up(ids.victim_new, Duration::from_millis(1), None);
+    sim.run_for(Duration::from_secs(3));
+
+    let ctrl: &SdnController = sim.controller_as().expect("controller");
+    let timeline = sim
+        .host_app_as::<PortProbingAttacker>(ids.attacker)
+        .map(|a| a.timeline)
+        .unwrap_or_default();
+    InducedOutcome {
+        migration_triggered_at,
+        hijack: HijackOutcome {
+            victim_down_at,
+            timeline,
+            controller_ack_at,
+            alerts_before_rejoin,
+            alerts_total: ctrl.alerts().len(),
+            conflict_alerts: ctrl
+                .alerts()
+                .count(controller::AlertKind::IdentifierConflict),
+            migration_alerts: ctrl
+                .alerts()
+                .count(controller::AlertKind::HostMigrationPrecondition)
+                + ctrl
+                    .alerts()
+                    .count(controller::AlertKind::HostMigrationPostcondition),
+            client_pings_during_hijack: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_window_is_hijacked_like_a_natural_one() {
+        let out = run(&InducedMigrationScenario::new(DefenseStack::TopoGuardSphinx, 11));
+        assert!(out.hijack.hijack_succeeded(), "{out:?}");
+        assert_eq!(out.hijack.alerts_before_rejoin, 0, "{out:?}");
+        // The attacker reacted within the induced window.
+        let ack = out.hijack.controller_ack_delay_ms().unwrap();
+        assert!(ack < 1000.0, "ack {ack} ms");
+    }
+
+    #[test]
+    fn migration_fires_after_patience_window() {
+        let scenario = InducedMigrationScenario::new(DefenseStack::None, 12);
+        let out = run(&scenario);
+        assert_eq!(
+            out.migration_triggered_at,
+            scenario.exhaustion_start + scenario.policy.saturation_patience
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! The TopoMirage scenario and evaluation harness.
+//!
+//! This crate assembles the substrates (simulator, controller, defenses,
+//! attacks) into the paper's experiments:
+//!
+//! * [`defense`] — the defense stacks under evaluation: none, TopoGuard,
+//!   SPHINX, TopoGuard+SPHINX, and TOPOGUARD+.
+//! * [`testbed`] — topology builders: Fig. 1's two-switch colluding-host
+//!   network, Fig. 9's four-switch evaluation testbed (5 ms dataplane
+//!   links, 10 ms out-of-band side channel), and the host-location-hijack
+//!   testbed.
+//! * [`linkfab`] — link-fabrication scenarios (out-of-band, stealthy
+//!   out-of-band, in-band, and a naive no-amnesia baseline).
+//! * [`hijack`] — the Port Probing / host-location-hijacking scenario with
+//!   the full Fig. 3 timeline instrumentation.
+//! * [`matrix`] — the headline attack × defense detection matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defense;
+pub mod floodsc;
+pub mod hijack;
+pub mod induced;
+pub mod linkfab;
+pub mod matrix;
+pub mod testbed;
+
+pub use defense::DefenseStack;
+pub use floodsc::{FloodOutcome, FloodScenario};
+pub use hijack::{HijackOutcome, HijackScenario};
+pub use linkfab::{LinkFabOutcome, LinkFabScenario, RelayMode};
+pub use matrix::{run_matrix, MatrixEntry};

@@ -1,0 +1,336 @@
+//! Link-fabrication scenarios: Port Amnesia in all its variants (§IV-A,
+//! §V-A), run against a selectable defense stack.
+//!
+//! Two topologies are available:
+//!
+//! * [`FabTopology::Fig1`] — the paper's attack illustration: two switches
+//!   joined *only* by the fabricated link, demonstrating a working
+//!   man-in-the-middle bridge.
+//! * [`FabTopology::Fig9`] — the paper's evaluation testbed: four switches
+//!   with real 5 ms links (the LLI's latency baseline), attack launched one
+//!   minute after bootstrap as in §VII-A.
+
+use attacks::{InBandRelayAttacker, OobRelayAttacker, RelayConfig, RelayStats};
+use controller::{AlertKind, ControllerConfig, ControllerProfile, DirectedLink, SdnController};
+use netsim::apps::PeriodicPinger;
+use netsim::Simulator;
+use sdn_types::Duration;
+
+use crate::defense::DefenseStack;
+use crate::testbed;
+
+/// Which relay variant to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelayMode {
+    /// Out-of-band relay with warmup traffic and port amnesia (Fig. 1).
+    OutOfBand,
+    /// Out-of-band relay from never-active hosts — no amnesia needed, so
+    /// only latency gives it away.
+    OutOfBandStealthy,
+    /// In-band relay with per-round context switching (§IV-A's weaker
+    /// variant). Requires real dataplane connectivity, so always runs on
+    /// the Fig. 9 topology.
+    InBand,
+    /// Out-of-band relay *without* amnesia despite HOST-profiled ports —
+    /// the baseline TopoGuard was designed to stop.
+    NaiveNoAmnesia,
+}
+
+impl RelayMode {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RelayMode::OutOfBand => "oob-amnesia",
+            RelayMode::OutOfBandStealthy => "oob-stealthy",
+            RelayMode::InBand => "in-band",
+            RelayMode::NaiveNoAmnesia => "naive-relay",
+        }
+    }
+}
+
+/// Which testbed to run on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FabTopology {
+    /// Two switches joined only by the fabricated link (MITM demo).
+    Fig1,
+    /// The four-switch evaluation testbed with real links.
+    Fig9,
+}
+
+/// Scenario parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFabScenario {
+    /// The relay variant.
+    pub mode: RelayMode,
+    /// The defense stack.
+    pub stack: DefenseStack,
+    /// RNG seed.
+    pub seed: u64,
+    /// The testbed. In-band always runs on Fig. 9.
+    pub topology: FabTopology,
+    /// When the attackers begin relaying (baselines form before this).
+    pub attack_start: Duration,
+    /// How long to run in total.
+    pub run_for: Duration,
+    /// Start benign cross-network traffic (exercises the MITM bridge in
+    /// the Fig. 1 topology).
+    pub benign_traffic: bool,
+    /// The controller's timing personality (Table III). The attack is
+    /// cadence-agnostic: it relays whatever LLDP the controller sends.
+    pub profile: ControllerProfile,
+}
+
+impl LinkFabScenario {
+    /// The Fig. 1 demonstration: warmup traffic at 1 s, attack from 5 s
+    /// (the first LLDP round it can relay is at 15.1 s), 40 s run.
+    pub fn new(mode: RelayMode, stack: DefenseStack, seed: u64) -> Self {
+        LinkFabScenario {
+            mode,
+            stack,
+            seed,
+            topology: FabTopology::Fig1,
+            attack_start: Duration::from_secs(5),
+            run_for: Duration::from_secs(40),
+            benign_traffic: true,
+            profile: ControllerProfile::FLOODLIGHT,
+        }
+    }
+
+    /// The §VII evaluation setting: Fig. 9 testbed, attack launched one
+    /// minute after controller bootstrap, 2.5-minute run (long enough for a
+    /// blocked link to also age out of the topology).
+    pub fn paper_eval(mode: RelayMode, stack: DefenseStack, seed: u64) -> Self {
+        LinkFabScenario {
+            mode,
+            stack,
+            seed,
+            topology: FabTopology::Fig9,
+            attack_start: Duration::from_secs(60),
+            run_for: Duration::from_secs(150),
+            benign_traffic: true,
+            profile: ControllerProfile::FLOODLIGHT,
+        }
+    }
+}
+
+/// Scenario outcome.
+#[derive(Clone, Debug)]
+pub struct LinkFabOutcome {
+    /// The fabricated link is present in the controller's topology at the
+    /// end of the run.
+    pub link_established: bool,
+    /// Total defense alerts raised.
+    pub alerts_total: usize,
+    /// TopoGuard/SPHINX alerts that indicate the fabrication was noticed.
+    pub fabrication_alerts: usize,
+    /// CMM detections.
+    pub cmm_alerts: usize,
+    /// LLI detections.
+    pub lli_alerts: usize,
+    /// Frames the MITM bridge carried.
+    pub bridged_frames: u64,
+    /// Benign pings completed across the network.
+    pub benign_pings_ok: u64,
+    /// Relay statistics from attacker A.
+    pub stats_a: RelayStats,
+    /// Relay statistics from attacker B.
+    pub stats_b: RelayStats,
+}
+
+impl LinkFabOutcome {
+    /// "Detected" in the paper's sense: any alert attributable to the
+    /// fabrication (TopoGuard link alerts, migration flapping caused by
+    /// the bridge, CMM, or LLI).
+    pub fn detected(&self) -> bool {
+        self.fabrication_alerts + self.cmm_alerts + self.lli_alerts > 0
+    }
+
+    /// The attack succeeded: fake link present and no detection.
+    pub fn succeeded_undetected(&self) -> bool {
+        self.link_established && !self.detected()
+    }
+}
+
+/// Runs the scenario.
+pub fn run(scenario: &LinkFabScenario) -> LinkFabOutcome {
+    if scenario.mode == RelayMode::InBand {
+        return run_in_band(scenario);
+    }
+    match scenario.topology {
+        FabTopology::Fig1 => run_oob_fig1(scenario),
+        FabTopology::Fig9 => run_oob_fig9(scenario),
+    }
+}
+
+fn scenario_config(scenario: &LinkFabScenario) -> ControllerConfig {
+    ControllerConfig {
+        profile: scenario.profile,
+        ..ControllerConfig::default()
+    }
+}
+
+fn oob_relay_config(scenario: &LinkFabScenario, peer: sdn_types::HostId) -> RelayConfig {
+    let base = match scenario.mode {
+        RelayMode::OutOfBand => RelayConfig::oob(peer),
+        RelayMode::OutOfBandStealthy => RelayConfig::oob_stealthy(peer),
+        RelayMode::NaiveNoAmnesia => RelayConfig {
+            use_amnesia: false,
+            ..RelayConfig::oob(peer)
+        },
+        RelayMode::InBand => unreachable!("handled by run_in_band"),
+    };
+    RelayConfig {
+        start_after: scenario.attack_start,
+        ..base
+    }
+}
+
+fn collect_outcome(
+    sim: &Simulator,
+    fake_a: sdn_types::SwitchPort,
+    fake_b: sdn_types::SwitchPort,
+    pinger_host: Option<sdn_types::HostId>,
+    stats_a: RelayStats,
+    stats_b: RelayStats,
+) -> LinkFabOutcome {
+    let fake_link = DirectedLink::new(fake_a, fake_b);
+    let ctrl: &SdnController = sim.controller_as().expect("controller");
+    let link_established = ctrl.topology().contains(&fake_link)
+        || ctrl.topology().contains(&fake_link.reversed());
+    let alerts = ctrl.alerts();
+    LinkFabOutcome {
+        link_established,
+        alerts_total: alerts.len(),
+        fabrication_alerts: alerts.count(AlertKind::LinkFabrication)
+            + alerts.count(AlertKind::TrafficFromSwitchPort)
+            + alerts.count(AlertKind::LinkChanged),
+        cmm_alerts: alerts.count(AlertKind::AnomalousControlMessage),
+        lli_alerts: alerts.count(AlertKind::AbnormalLinkLatency),
+        bridged_frames: stats_a.bridged_to_peer + stats_b.bridged_to_peer,
+        benign_pings_ok: pinger_host
+            .and_then(|h| sim.host_app_as::<PeriodicPinger>(h))
+            .map(|p| p.received)
+            .unwrap_or(0),
+        stats_a,
+        stats_b,
+    }
+}
+
+fn run_oob_fig1(scenario: &LinkFabScenario) -> LinkFabOutcome {
+    let (mut spec, ids) = testbed::fig1_spec(scenario.stack, scenario_config(scenario));
+    spec.set_host_app(
+        ids.attacker_a,
+        Box::new(OobRelayAttacker::new(oob_relay_config(scenario, ids.attacker_b))),
+    );
+    spec.set_host_app(
+        ids.attacker_b,
+        Box::new(OobRelayAttacker::new(oob_relay_config(scenario, ids.attacker_a))),
+    );
+    if scenario.benign_traffic {
+        spec.set_host_app(
+            ids.h1,
+            Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
+        );
+    }
+    let mut sim = Simulator::new(spec, scenario.seed);
+    sim.run_for(scenario.run_for);
+    let stats_a = sim
+        .host_app_as::<OobRelayAttacker>(ids.attacker_a)
+        .map(|a| a.stats)
+        .unwrap_or_default();
+    let stats_b = sim
+        .host_app_as::<OobRelayAttacker>(ids.attacker_b)
+        .map(|a| a.stats)
+        .unwrap_or_default();
+    collect_outcome(
+        &sim,
+        ids.port_a,
+        ids.port_b,
+        scenario.benign_traffic.then_some(ids.h1),
+        stats_a,
+        stats_b,
+    )
+}
+
+fn run_oob_fig9(scenario: &LinkFabScenario) -> LinkFabOutcome {
+    let (mut spec, ids) = testbed::fig9_spec(scenario.stack, scenario_config(scenario));
+    // On the Fig. 9 testbed the fabricated link closes a loop with the real
+    // trunk links; bridging broadcasts across it would start a classic
+    // broadcast storm (there is no spanning tree). The paper's evaluation
+    // relays LLDP only here — the MITM bridge demo lives on Fig. 1, where
+    // the fabricated link is the sole path.
+    let mk = |peer| RelayConfig {
+        bridge_dataplane: false,
+        ..oob_relay_config(scenario, peer)
+    };
+    spec.set_host_app(
+        ids.attacker_a,
+        Box::new(OobRelayAttacker::new(mk(ids.attacker_b))),
+    );
+    spec.set_host_app(
+        ids.attacker_b,
+        Box::new(OobRelayAttacker::new(mk(ids.attacker_a))),
+    );
+    if scenario.benign_traffic {
+        spec.set_host_app(
+            ids.h1,
+            Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
+        );
+    }
+    let mut sim = Simulator::new(spec, scenario.seed);
+    sim.run_for(scenario.run_for);
+    let stats_a = sim
+        .host_app_as::<OobRelayAttacker>(ids.attacker_a)
+        .map(|a| a.stats)
+        .unwrap_or_default();
+    let stats_b = sim
+        .host_app_as::<OobRelayAttacker>(ids.attacker_b)
+        .map(|a| a.stats)
+        .unwrap_or_default();
+    collect_outcome(
+        &sim,
+        ids.port_a,
+        ids.port_b,
+        scenario.benign_traffic.then_some(ids.h1),
+        stats_a,
+        stats_b,
+    )
+}
+
+fn run_in_band(scenario: &LinkFabScenario) -> LinkFabOutcome {
+    let (mut spec, ids) = testbed::fig9_spec(scenario.stack, scenario_config(scenario));
+    let cfg_a = RelayConfig {
+        start_after: scenario.attack_start,
+        ..RelayConfig::in_band(ids.attacker_b, ids.attacker_b_mac, ids.attacker_b_ip)
+    };
+    let cfg_b = RelayConfig {
+        start_after: scenario.attack_start,
+        ..RelayConfig::in_band(ids.attacker_a, ids.attacker_a_mac, ids.attacker_a_ip)
+    };
+    spec.set_host_app(ids.attacker_a, Box::new(InBandRelayAttacker::new(cfg_a)));
+    spec.set_host_app(ids.attacker_b, Box::new(InBandRelayAttacker::new(cfg_b)));
+    if scenario.benign_traffic {
+        spec.set_host_app(
+            ids.h1,
+            Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
+        );
+    }
+    let mut sim = Simulator::new(spec, scenario.seed);
+    sim.run_for(scenario.run_for);
+    let stats_a = sim
+        .host_app_as::<InBandRelayAttacker>(ids.attacker_a)
+        .map(|a| a.stats)
+        .unwrap_or_default();
+    let stats_b = sim
+        .host_app_as::<InBandRelayAttacker>(ids.attacker_b)
+        .map(|a| a.stats)
+        .unwrap_or_default();
+    collect_outcome(
+        &sim,
+        ids.port_a,
+        ids.port_b,
+        scenario.benign_traffic.then_some(ids.h1),
+        stats_a,
+        stats_b,
+    )
+}

@@ -1,0 +1,242 @@
+//! Topology builders for the paper's testbeds.
+
+use controller::ControllerConfig;
+use netsim::{LinkProfile, NetworkSpec};
+use sdn_types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo, SwitchPort};
+
+use crate::defense::DefenseStack;
+
+/// Identifiers for the Fig. 1 testbed: two switches joined *only* by the
+/// attackers' fabricated link.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig1Testbed {
+    /// Switch 0x1.
+    pub s1: DatapathId,
+    /// Switch 0x2.
+    pub s2: DatapathId,
+    /// Colluding host A (on s1).
+    pub attacker_a: HostId,
+    /// Colluding host B (on s2).
+    pub attacker_b: HostId,
+    /// Attacker A's switch port.
+    pub port_a: SwitchPort,
+    /// Attacker B's switch port.
+    pub port_b: SwitchPort,
+    /// Benign host on s1.
+    pub h1: HostId,
+    /// Benign host on s2.
+    pub h2: HostId,
+    /// Benign host IPs.
+    pub h1_ip: IpAddr,
+    /// Benign host IPs.
+    pub h2_ip: IpAddr,
+}
+
+/// Builds the Fig. 1 network: switches 0x1 and 0x2, a colluding host on
+/// each, an out-of-band channel between the colluders, and a benign host on
+/// each switch. There is **no real inter-switch link** — if traffic flows
+/// between h1 and h2, it flows over the fabricated link.
+///
+/// Dataplane links are 5 ms, the out-of-band channel is 10 ms + 1 ms
+/// encode/decode (the Fig. 9 parameters).
+pub fn fig1_spec(stack: DefenseStack, config: ControllerConfig) -> (NetworkSpec, Fig1Testbed) {
+    let ids = Fig1Testbed {
+        s1: DatapathId::new(0x1),
+        s2: DatapathId::new(0x2),
+        attacker_a: HostId::new(101),
+        attacker_b: HostId::new(102),
+        port_a: SwitchPort::new(DatapathId::new(0x1), PortNo::new(1)),
+        port_b: SwitchPort::new(DatapathId::new(0x2), PortNo::new(1)),
+        h1: HostId::new(1),
+        h2: HostId::new(2),
+        h1_ip: IpAddr::new(10, 0, 0, 1),
+        h2_ip: IpAddr::new(10, 0, 0, 2),
+    };
+    let mut spec = NetworkSpec::new();
+    spec.add_switch(ids.s1);
+    spec.add_switch(ids.s2);
+    let link = LinkProfile::fixed(Duration::from_millis(5));
+    spec.add_host(ids.attacker_a, MacAddr::from_index(101), IpAddr::new(10, 0, 0, 101));
+    spec.add_host(ids.attacker_b, MacAddr::from_index(102), IpAddr::new(10, 0, 0, 102));
+    spec.add_host(ids.h1, MacAddr::from_index(1), ids.h1_ip);
+    spec.add_host(ids.h2, MacAddr::from_index(2), ids.h2_ip);
+    spec.attach_host(ids.attacker_a, ids.s1, PortNo::new(1), link);
+    spec.attach_host(ids.attacker_b, ids.s2, PortNo::new(1), link);
+    spec.attach_host(ids.h1, ids.s1, PortNo::new(2), link);
+    spec.attach_host(ids.h2, ids.s2, PortNo::new(2), link);
+    spec.add_oob_channel(
+        ids.attacker_a,
+        ids.attacker_b,
+        Duration::from_millis(10),
+        Duration::from_millis(1),
+    );
+    spec.set_controller(Box::new(stack.build_controller(config)));
+    (spec, ids)
+}
+
+/// Identifiers for the Fig. 9 evaluation testbed.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig9Testbed {
+    /// The four switches, in line order s1—s2—s3—s4.
+    pub switches: [DatapathId; 4],
+    /// Colluding host A (on s1).
+    pub attacker_a: HostId,
+    /// Colluding host B (on s4).
+    pub attacker_b: HostId,
+    /// Attacker A's port.
+    pub port_a: SwitchPort,
+    /// Attacker B's port.
+    pub port_b: SwitchPort,
+    /// Attacker identifiers (needed for the in-band tunnel).
+    pub attacker_a_mac: MacAddr,
+    /// Attacker A's IP.
+    pub attacker_a_ip: IpAddr,
+    /// Attacker B's MAC.
+    pub attacker_b_mac: MacAddr,
+    /// Attacker B's IP.
+    pub attacker_b_ip: IpAddr,
+    /// Benign host on s2.
+    pub h1: HostId,
+    /// Benign host on s3.
+    pub h2: HostId,
+    /// h1's IP.
+    pub h1_ip: IpAddr,
+    /// h2's IP.
+    pub h2_ip: IpAddr,
+}
+
+/// Builds the Fig. 9 evaluation testbed: four switches in a line with 5 ms
+/// dataplane links (with the micro-burst model behind Fig. 10's latency
+/// spikes), compromised hosts on the two end switches with a 10 ms
+/// out-of-band channel, and benign hosts on the middle switches.
+pub fn fig9_spec(stack: DefenseStack, config: ControllerConfig) -> (NetworkSpec, Fig9Testbed) {
+    let switches = [
+        DatapathId::new(0x1),
+        DatapathId::new(0x2),
+        DatapathId::new(0x3),
+        DatapathId::new(0x4),
+    ];
+    let ids = Fig9Testbed {
+        switches,
+        attacker_a: HostId::new(101),
+        attacker_b: HostId::new(102),
+        port_a: SwitchPort::new(switches[0], PortNo::new(10)),
+        port_b: SwitchPort::new(switches[3], PortNo::new(10)),
+        attacker_a_mac: MacAddr::from_index(101),
+        attacker_a_ip: IpAddr::new(10, 0, 0, 101),
+        attacker_b_mac: MacAddr::from_index(102),
+        attacker_b_ip: IpAddr::new(10, 0, 0, 102),
+        h1: HostId::new(1),
+        h2: HostId::new(2),
+        h1_ip: IpAddr::new(10, 0, 0, 1),
+        h2_ip: IpAddr::new(10, 0, 0, 2),
+    };
+    let mut spec = NetworkSpec::new();
+    for dpid in switches {
+        spec.add_switch(dpid);
+    }
+    let trunk = LinkProfile::testbed_dataplane();
+    spec.link_switches(switches[0], PortNo::new(1), switches[1], PortNo::new(1), trunk);
+    spec.link_switches(switches[1], PortNo::new(2), switches[2], PortNo::new(1), trunk);
+    spec.link_switches(switches[2], PortNo::new(2), switches[3], PortNo::new(1), trunk);
+
+    let edge = LinkProfile::fixed(Duration::from_millis(5));
+    spec.add_host(ids.attacker_a, ids.attacker_a_mac, ids.attacker_a_ip);
+    spec.add_host(ids.attacker_b, ids.attacker_b_mac, ids.attacker_b_ip);
+    spec.add_host(ids.h1, MacAddr::from_index(1), ids.h1_ip);
+    spec.add_host(ids.h2, MacAddr::from_index(2), ids.h2_ip);
+    spec.attach_host(ids.attacker_a, switches[0], PortNo::new(10), edge);
+    spec.attach_host(ids.attacker_b, switches[3], PortNo::new(10), edge);
+    spec.attach_host(ids.h1, switches[1], PortNo::new(10), edge);
+    spec.attach_host(ids.h2, switches[2], PortNo::new(10), edge);
+    spec.add_oob_channel(
+        ids.attacker_a,
+        ids.attacker_b,
+        Duration::from_millis(10),
+        Duration::from_millis(1),
+    );
+    spec.set_controller(Box::new(stack.build_controller(config)));
+    (spec, ids)
+}
+
+/// Identifiers for the host-location-hijack testbed (Fig. 2's scenario).
+#[derive(Clone, Copy, Debug)]
+pub struct HijackTestbed {
+    /// Switch 0x1 (victim's original switch, attacker's switch).
+    pub s1: DatapathId,
+    /// Switch 0x2 (victim's migration destination).
+    pub s2: DatapathId,
+    /// The victim host.
+    pub victim: HostId,
+    /// The victim's stand-in at the migration destination (enabled when
+    /// the migration "completes").
+    pub victim_new: HostId,
+    /// The attacker.
+    pub attacker: HostId,
+    /// A benign client that keeps sessions toward the victim.
+    pub client: HostId,
+    /// The victim's MAC.
+    pub victim_mac: MacAddr,
+    /// The victim's IP.
+    pub victim_ip: IpAddr,
+    /// The attacker's (original) MAC.
+    pub attacker_mac: MacAddr,
+    /// The attacker's (original) IP.
+    pub attacker_ip: IpAddr,
+    /// The client's IP.
+    pub client_ip: IpAddr,
+    /// The attacker's port.
+    pub attacker_port: SwitchPort,
+    /// The victim's original port.
+    pub victim_port: SwitchPort,
+    /// The victim's destination port (on s2).
+    pub victim_new_port: SwitchPort,
+}
+
+/// Builds the hijack testbed: victim and attacker share switch 0x1 (same
+/// subnet — the ARP-ping requirement); the victim's migration target port
+/// is on switch 0x2; a benign client on 0x2 talks to the victim.
+///
+/// The "migration" is modeled with two NICs bearing the victim's identity:
+/// `victim` (original location, up initially) and `victim_new` (destination
+/// port, brought up when the migration completes). The scenario driver
+/// scripts the downtime window between them.
+pub fn hijack_spec(stack: DefenseStack, config: ControllerConfig) -> (NetworkSpec, HijackTestbed) {
+    let s1 = DatapathId::new(0x1);
+    let s2 = DatapathId::new(0x2);
+    let ids = HijackTestbed {
+        s1,
+        s2,
+        victim: HostId::new(1),
+        victim_new: HostId::new(2),
+        attacker: HostId::new(100),
+        client: HostId::new(3),
+        victim_mac: MacAddr::new([0xAA; 6]),
+        victim_ip: IpAddr::new(10, 0, 0, 1),
+        attacker_mac: MacAddr::new([0xBB; 6]),
+        attacker_ip: IpAddr::new(10, 0, 0, 2),
+        client_ip: IpAddr::new(10, 0, 0, 3),
+        attacker_port: SwitchPort::new(s1, PortNo::new(5)),
+        victim_port: SwitchPort::new(s1, PortNo::new(2)),
+        victim_new_port: SwitchPort::new(s2, PortNo::new(4)),
+    };
+    let mut spec = NetworkSpec::new();
+    spec.add_switch(s1);
+    spec.add_switch(s2);
+    // 5 ms ± 1 ms per traversal: an attacker→victim probe RTT of ≈22 ms
+    // with ≈2 ms spread — matching the paper's ≈20 ms enterprise delay
+    // model (§V-B1), with enough tail headroom that the 35 ms probe
+    // timeout false-positives less than once per million probes.
+    let link = LinkProfile::jittered(Duration::from_millis(5), Duration::from_micros(1000));
+    spec.link_switches(s1, PortNo::new(1), s2, PortNo::new(1), link);
+    spec.add_host(ids.victim, ids.victim_mac, ids.victim_ip);
+    spec.add_host(ids.victim_new, ids.victim_mac, ids.victim_ip);
+    spec.add_host(ids.attacker, ids.attacker_mac, ids.attacker_ip);
+    spec.add_host(ids.client, MacAddr::new([0xCC; 6]), ids.client_ip);
+    spec.attach_host(ids.victim, s1, PortNo::new(2), link);
+    spec.attach_host(ids.victim_new, s2, PortNo::new(4), link);
+    spec.attach_host(ids.attacker, s1, PortNo::new(5), link);
+    spec.attach_host(ids.client, s2, PortNo::new(2), link);
+    spec.set_controller(Box::new(stack.build_controller(config)));
+    (spec, ids)
+}

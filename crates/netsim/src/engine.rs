@@ -1,0 +1,240 @@
+//! The discrete-event core: clock, deterministic event queue, RNG.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use openflow::OfMessage;
+use sdn_types::packet::EthernetFrame;
+use sdn_types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo, SimTime};
+
+/// The IEEE 802.3 link-integrity-pulse window: a switch declares a port down
+/// after `16 ± 8` ms without link pulses (§V-A). The simulator samples the
+/// detection delay uniformly from `[8 ms, 24 ms)`.
+pub const PULSE_WINDOW: (Duration, Duration) =
+    (Duration::from_millis(8), Duration::from_millis(24));
+
+/// An event in the simulation.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// A dataplane frame arrives at a switch port.
+    DeliverToSwitch {
+        /// Receiving switch.
+        dpid: DatapathId,
+        /// Ingress port.
+        port: PortNo,
+        /// The frame.
+        frame: EthernetFrame,
+    },
+    /// A dataplane frame arrives at a host interface.
+    DeliverToHost {
+        /// Receiving host.
+        host: HostId,
+        /// The frame.
+        frame: EthernetFrame,
+    },
+    /// An out-of-band (side channel) frame arrives at a host.
+    DeliverOob {
+        /// Receiving host.
+        to: HostId,
+        /// Sending host.
+        from: HostId,
+        /// The frame.
+        frame: EthernetFrame,
+    },
+    /// A control message arrives at a switch.
+    CtrlToSwitch {
+        /// Receiving switch.
+        dpid: DatapathId,
+        /// The message.
+        msg: OfMessage,
+    },
+    /// A control message arrives at the controller.
+    CtrlToController {
+        /// Originating switch.
+        dpid: DatapathId,
+        /// The message.
+        msg: OfMessage,
+    },
+    /// A controller timer fires.
+    ControllerTimer {
+        /// Timer id chosen by the controller.
+        id: u64,
+    },
+    /// A host timer fires.
+    HostTimer {
+        /// Owning host.
+        host: HostId,
+        /// Timer id chosen by the host app.
+        id: u64,
+    },
+    /// Periodic flow-table expiry scan on a switch.
+    SwitchExpiryTick {
+        /// The switch.
+        dpid: DatapathId,
+    },
+    /// Link-integrity-pulse deadline: if the host interface attached to this
+    /// port has been down continuously since `down_epoch`, the switch
+    /// declares the port down.
+    PulseCheck {
+        /// The switch.
+        dpid: DatapathId,
+        /// The port.
+        port: PortNo,
+        /// The interface down-epoch this check corresponds to.
+        down_epoch: u64,
+    },
+    /// Link pulses resumed on a port whose attached interface came back up;
+    /// the switch re-detects the link unless traffic already did.
+    PulseCheckUp {
+        /// The switch.
+        dpid: DatapathId,
+        /// The port.
+        port: PortNo,
+    },
+    /// An in-progress `ifconfig`-style interface bring-up completes.
+    HostIfaceUp {
+        /// The host.
+        host: HostId,
+        /// The bring-up epoch (stale events are ignored).
+        epoch: u64,
+        /// New identity to assume, if the bring-up changes identifiers.
+        identity: Option<(MacAddr, IpAddr)>,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Clock + queue + RNG. Shared mutably by every dispatch path.
+pub(crate) struct SimCore {
+    clock: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    pub(crate) rng: StdRng,
+}
+
+impl SimCore {
+    pub(crate) fn new(seed: u64) -> Self {
+        SimCore {
+            clock: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub(crate) fn schedule(&mut self, delay: Duration, event: Event) {
+        let at = self.clock + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the next event if it fires at or before `horizon`, advancing the
+    /// clock to the event time.
+    pub(crate) fn pop_until(&mut self, horizon: SimTime) -> Option<Event> {
+        match self.queue.peek() {
+            Some(s) if s.at <= horizon => {
+                let s = self.queue.pop().expect("peeked");
+                debug_assert!(s.at >= self.clock, "time must be monotonic");
+                self.clock = s.at;
+                Some(s.event)
+            }
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `horizon` (used after draining events).
+    pub(crate) fn advance_to(&mut self, horizon: SimTime) {
+        if horizon > self.clock {
+            self.clock = horizon;
+        }
+    }
+
+    /// Number of pending events.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut core = SimCore::new(1);
+        core.schedule(Duration::from_millis(30), Event::ControllerTimer { id: 3 });
+        core.schedule(Duration::from_millis(10), Event::ControllerTimer { id: 1 });
+        core.schedule(Duration::from_millis(20), Event::ControllerTimer { id: 2 });
+        let mut ids = Vec::new();
+        while let Some(Event::ControllerTimer { id }) = core.pop_until(SimTime::from_secs(1)) {
+            ids.push(id);
+        }
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(core.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut core = SimCore::new(1);
+        for id in 0..5 {
+            core.schedule(Duration::from_millis(10), Event::ControllerTimer { id });
+        }
+        let mut ids = Vec::new();
+        while let Some(Event::ControllerTimer { id }) = core.pop_until(SimTime::from_secs(1)) {
+            ids.push(id);
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let mut core = SimCore::new(1);
+        core.schedule(Duration::from_millis(10), Event::ControllerTimer { id: 1 });
+        core.schedule(Duration::from_millis(50), Event::ControllerTimer { id: 2 });
+        assert!(core.pop_until(SimTime::from_millis(20)).is_some());
+        assert!(core.pop_until(SimTime::from_millis(20)).is_none());
+        assert_eq!(core.pending(), 1);
+        core.advance_to(SimTime::from_millis(20));
+        assert_eq!(core.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn clock_does_not_go_backward_on_advance() {
+        let mut core = SimCore::new(1);
+        core.advance_to(SimTime::from_millis(20));
+        core.advance_to(SimTime::from_millis(10));
+        assert_eq!(core.now(), SimTime::from_millis(20));
+    }
+}

@@ -1,0 +1,175 @@
+//! Link latency models.
+
+use rand::Rng;
+
+use sdn_types::Duration;
+use tm_stats::{Distribution, Normal, UniformRange};
+
+/// A micro-burst model: with probability `probability` per transit, an extra
+/// delay uniformly drawn from `[extra_min, extra_max)` is added.
+///
+/// This reproduces the latency micro-bursts the paper observes on its
+/// emulated 5 ms links (Fig. 10: occasional samples near 12 ms), which are
+/// the false-positive hazard for the Link Latency Inspector (§VIII-A).
+#[derive(Clone, Copy, Debug)]
+pub struct BurstModel {
+    /// Per-transit probability of a burst.
+    pub probability: f64,
+    /// Minimum extra delay during a burst.
+    pub extra_min: Duration,
+    /// Maximum extra delay during a burst.
+    pub extra_max: Duration,
+}
+
+impl BurstModel {
+    /// Creates a burst model.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ probability ≤ 1` and `extra_min < extra_max`.
+    pub fn new(probability: f64, extra_min: Duration, extra_max: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&probability), "probability in [0,1]");
+        assert!(extra_min < extra_max, "extra_min must be < extra_max");
+        BurstModel {
+            probability,
+            extra_min,
+            extra_max,
+        }
+    }
+}
+
+/// A link's delay profile: base latency, optional Gaussian jitter, optional
+/// micro-bursts.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkProfile {
+    /// Base one-way latency.
+    pub base: Duration,
+    /// Standard deviation of Gaussian jitter (zero = none). Sampled delay
+    /// never goes below half the base latency.
+    pub jitter_sd: Duration,
+    /// Optional micro-burst model.
+    pub burst: Option<BurstModel>,
+}
+
+impl LinkProfile {
+    /// A fixed-latency link with no jitter or bursts.
+    pub fn fixed(base: Duration) -> Self {
+        LinkProfile {
+            base,
+            jitter_sd: Duration::ZERO,
+            burst: None,
+        }
+    }
+
+    /// A link with Gaussian jitter.
+    pub fn jittered(base: Duration, jitter_sd: Duration) -> Self {
+        LinkProfile {
+            base,
+            jitter_sd,
+            burst: None,
+        }
+    }
+
+    /// Adds a micro-burst model.
+    pub fn with_bursts(mut self, burst: BurstModel) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+
+    /// The evaluation testbed's dataplane profile: 5 ms links (Fig. 9) with
+    /// mild jitter and occasional micro-bursts up to ~12 ms (Fig. 10).
+    pub fn testbed_dataplane() -> Self {
+        LinkProfile::jittered(Duration::from_millis(5), Duration::from_micros(200)).with_bursts(
+            BurstModel::new(
+                0.03,
+                Duration::from_millis(3),
+                Duration::from_millis(7),
+            ),
+        )
+    }
+
+    /// Samples the one-way delay for one transit.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let base_ms = self.base.as_millis_f64();
+        let mut delay_ms = if self.jitter_sd == Duration::ZERO {
+            base_ms
+        } else {
+            Normal::new(base_ms, self.jitter_sd.as_millis_f64()).sample(rng)
+        };
+        // Physical floor: jitter cannot make a link faster than propagation.
+        delay_ms = delay_ms.max(base_ms * 0.5);
+        if let Some(burst) = self.burst {
+            if rng.gen_bool(burst.probability) {
+                delay_ms += UniformRange::new(
+                    burst.extra_min.as_millis_f64(),
+                    burst.extra_max.as_millis_f64(),
+                )
+                .sample(rng);
+            }
+        }
+        Duration::from_millis_f64(delay_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_links_are_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = LinkProfile::fixed(Duration::from_millis(5));
+        for _ in 0..100 {
+            assert_eq!(link.sample(&mut rng), Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_but_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = LinkProfile::jittered(Duration::from_millis(5), Duration::from_millis(1));
+        let samples: Vec<Duration> = (0..1000).map(|_| link.sample(&mut rng)).collect();
+        let distinct: std::collections::HashSet<u64> =
+            samples.iter().map(|d| d.as_nanos()).collect();
+        assert!(distinct.len() > 100, "jitter should vary");
+        assert!(samples
+            .iter()
+            .all(|d| d.as_millis_f64() >= 2.5 - f64::EPSILON));
+    }
+
+    #[test]
+    fn bursts_appear_at_roughly_the_configured_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let link = LinkProfile::fixed(Duration::from_millis(5)).with_bursts(BurstModel::new(
+            0.1,
+            Duration::from_millis(3),
+            Duration::from_millis(7),
+        ));
+        let n = 10_000;
+        let bursty = (0..n)
+            .filter(|_| link.sample(&mut rng) > Duration::from_millis(6))
+            .count();
+        let rate = bursty as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "burst rate {rate}");
+    }
+
+    #[test]
+    fn testbed_profile_matches_fig10_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let link = LinkProfile::testbed_dataplane();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| link.sample(&mut rng).as_millis_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.5, "mean should be ~5 ms, got {mean}");
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 8.0 && max < 13.0, "bursts to ~12 ms, got {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn burst_probability_validated() {
+        let _ = BurstModel::new(1.5, Duration::ZERO, Duration::from_millis(1));
+    }
+}

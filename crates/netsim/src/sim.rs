@@ -1,0 +1,515 @@
+//! The top-level simulator: network construction and the event loop.
+
+use std::collections::BTreeMap;
+
+use openflow::OfMessage;
+use sdn_types::packet::EthernetFrame;
+use sdn_types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo, SimTime};
+
+use crate::controller_api::{ControllerCtx, ControllerLogic, NullController};
+use crate::engine::{Event, SimCore};
+use crate::host::{deliver_frame, HostApp, HostCtx, HostInfo, HostState};
+use crate::link::LinkProfile;
+use crate::switch::{self, Peer, SwitchState};
+use crate::trace::{Trace, TraceEvent};
+
+/// An out-of-band channel between two colluding hosts (the paper's 802.11
+/// side link, Fig. 1), with propagation latency and per-packet
+/// encode/decode cost.
+pub(crate) struct OobChannel {
+    pub(crate) a: HostId,
+    pub(crate) b: HostId,
+    pub(crate) latency: Duration,
+    pub(crate) codec_cost: Duration,
+}
+
+/// All network state (switches, hosts, channels, trace).
+pub(crate) struct NetState {
+    pub(crate) switches: BTreeMap<DatapathId, SwitchState>,
+    pub(crate) hosts: BTreeMap<HostId, HostState>,
+    pub(crate) oob_channels: Vec<OobChannel>,
+    pub(crate) trace: Trace,
+}
+
+/// Declarative description of a network, consumed by [`Simulator::new`].
+///
+/// The default control-link latency is 1 ms per switch.
+pub struct NetworkSpec {
+    net: NetState,
+    controller: Box<dyn ControllerLogic>,
+    default_ctrl_latency: Duration,
+}
+
+impl NetworkSpec {
+    /// Creates an empty specification with a [`NullController`].
+    pub fn new() -> Self {
+        NetworkSpec {
+            net: NetState {
+                switches: BTreeMap::new(),
+                hosts: BTreeMap::new(),
+                oob_channels: Vec::new(),
+                trace: Trace::default(),
+            },
+            controller: Box::new(NullController),
+            default_ctrl_latency: Duration::from_millis(1),
+        }
+    }
+
+    /// Adds a switch with the default control-link latency.
+    pub fn add_switch(&mut self, dpid: DatapathId) -> &mut Self {
+        let latency = self.default_ctrl_latency;
+        self.add_switch_with_ctrl_latency(dpid, latency)
+    }
+
+    /// Adds a switch with a specific control-link latency.
+    ///
+    /// # Panics
+    /// Panics if the datapath id is already in use.
+    pub fn add_switch_with_ctrl_latency(
+        &mut self,
+        dpid: DatapathId,
+        ctrl_latency: Duration,
+    ) -> &mut Self {
+        let prev = self
+            .net
+            .switches
+            .insert(dpid, SwitchState::new(dpid, ctrl_latency));
+        assert!(prev.is_none(), "duplicate switch {dpid}");
+        self
+    }
+
+    /// Adds a host with the given identifiers (initially unattached).
+    ///
+    /// # Panics
+    /// Panics if the host id is already in use.
+    pub fn add_host(&mut self, id: HostId, mac: MacAddr, ip: IpAddr) -> &mut Self {
+        let prev = self.net.hosts.insert(id, HostState::new(id, mac, ip));
+        assert!(prev.is_none(), "duplicate host {id}");
+        self
+    }
+
+    /// Attaches a host to a switch port over `link`.
+    ///
+    /// # Panics
+    /// Panics if host or switch does not exist, or the port is in use.
+    pub fn attach_host(
+        &mut self,
+        host: HostId,
+        dpid: DatapathId,
+        port: PortNo,
+        link: LinkProfile,
+    ) -> &mut Self {
+        let sw = self.net.switches.get_mut(&dpid).expect("switch exists");
+        assert!(
+            !sw.ports.contains_key(&port),
+            "port {port} on {dpid} already attached"
+        );
+        sw.attach(port, Peer::Host { host }, link);
+        let h = self.net.hosts.get_mut(&host).expect("host exists");
+        assert!(h.attachment.is_none(), "host {host} already attached");
+        h.attachment = Some((dpid, port, link));
+        self
+    }
+
+    /// Connects two switch ports with a symmetric link.
+    ///
+    /// # Panics
+    /// Panics if either switch is missing or a port is in use.
+    pub fn link_switches(
+        &mut self,
+        a: DatapathId,
+        port_a: PortNo,
+        b: DatapathId,
+        port_b: PortNo,
+        link: LinkProfile,
+    ) -> &mut Self {
+        {
+            let sw_a = self.net.switches.get_mut(&a).expect("switch a exists");
+            assert!(!sw_a.ports.contains_key(&port_a), "port in use on {a}");
+            sw_a.attach(port_a, Peer::Switch { dpid: b, port: port_b }, link);
+        }
+        {
+            let sw_b = self.net.switches.get_mut(&b).expect("switch b exists");
+            assert!(!sw_b.ports.contains_key(&port_b), "port in use on {b}");
+            sw_b.attach(port_b, Peer::Switch { dpid: a, port: port_a }, link);
+        }
+        self
+    }
+
+    /// Adds an out-of-band channel between two hosts.
+    pub fn add_oob_channel(
+        &mut self,
+        a: HostId,
+        b: HostId,
+        latency: Duration,
+        codec_cost: Duration,
+    ) -> &mut Self {
+        self.net.oob_channels.push(OobChannel {
+            a,
+            b,
+            latency,
+            codec_cost,
+        });
+        self
+    }
+
+    /// Installs a host application.
+    ///
+    /// # Panics
+    /// Panics if the host does not exist.
+    pub fn set_host_app(&mut self, host: HostId, app: Box<dyn HostApp>) -> &mut Self {
+        self.net.hosts.get_mut(&host).expect("host exists").app = Some(app);
+        self
+    }
+
+    /// Installs the controller.
+    pub fn set_controller(&mut self, controller: Box<dyn ControllerLogic>) -> &mut Self {
+        self.controller = controller;
+        self
+    }
+}
+
+impl Default for NetworkSpec {
+    fn default() -> Self {
+        NetworkSpec::new()
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    core: SimCore,
+    net: NetState,
+    controller: Option<Box<dyn ControllerLogic>>,
+}
+
+impl Simulator {
+    /// Builds a simulator from `spec`, seeds the RNG, performs the
+    /// controller handshake (Hello + FeaturesReply per switch), and invokes
+    /// `on_start` hooks.
+    pub fn new(spec: NetworkSpec, seed: u64) -> Self {
+        let mut sim = Simulator {
+            core: SimCore::new(seed),
+            net: spec.net,
+            controller: Some(spec.controller),
+        };
+
+        // Switch handshake: each switch announces itself.
+        let dpids: Vec<DatapathId> = sim.net.switches.keys().copied().collect();
+        for dpid in &dpids {
+            let sw = &sim.net.switches[dpid];
+            let latency = sw.ctrl_latency;
+            let ports = sw.port_descs();
+            sim.core.schedule(
+                latency,
+                Event::CtrlToController {
+                    dpid: *dpid,
+                    msg: OfMessage::Hello,
+                },
+            );
+            sim.core.schedule(
+                latency,
+                Event::CtrlToController {
+                    dpid: *dpid,
+                    msg: OfMessage::FeaturesReply { dpid: *dpid, ports },
+                },
+            );
+            let tick = sw.expiry_tick;
+            sim.core.schedule(tick, Event::SwitchExpiryTick { dpid: *dpid });
+        }
+
+        // Controller start hook.
+        sim.with_controller(|logic, ctx| logic.on_start(ctx));
+
+        // Host app start hooks.
+        let hosts: Vec<HostId> = sim.net.hosts.keys().copied().collect();
+        for host in hosts {
+            sim.with_host_app(host, |app, ctx| app.on_start(ctx));
+        }
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Runs until the event queue is empty or `deadline` is reached; the
+    /// clock ends exactly at `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(event) = self.core.pop_until(deadline) {
+            self.dispatch(event);
+        }
+        self.core.advance_to(deadline);
+    }
+
+    /// Runs for `duration` of virtual time.
+    pub fn run_for(&mut self, duration: Duration) {
+        let deadline = self.now() + duration;
+        self.run_until(deadline);
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.net.trace
+    }
+
+    /// Clears retained trace records.
+    pub fn clear_trace(&mut self) {
+        self.net.trace.clear();
+    }
+
+    /// Snapshot of a host's state.
+    pub fn host_info(&self, host: HostId) -> Option<HostInfo> {
+        self.net.hosts.get(&host).map(|h| h.info())
+    }
+
+    /// Number of rules installed on a switch.
+    pub fn flow_count(&self, dpid: DatapathId) -> Option<usize> {
+        self.net.switches.get(&dpid).map(|sw| sw.table.len())
+    }
+
+    /// Per-port statistics for a switch.
+    pub fn port_stats(&self, dpid: DatapathId) -> Option<Vec<openflow::PortStatsEntry>> {
+        self.net.switches.get(&dpid).map(|sw| sw.port_stats())
+    }
+
+    /// Administratively disables or enables a switch port (failure
+    /// injection). Generates the same PortStatus messages a cable pull
+    /// would.
+    pub fn set_switch_port_admin(&mut self, dpid: DatapathId, port: PortNo, up: bool) {
+        let changed = {
+            let Some(sw) = self.net.switches.get_mut(&dpid) else {
+                return;
+            };
+            let Some(p) = sw.ports.get_mut(&port) else {
+                return;
+            };
+            if p.admin_up == up {
+                false
+            } else {
+                p.admin_up = up;
+                true
+            }
+        };
+        if changed {
+            if up {
+                switch::declare_port_up(&mut self.core, &mut self.net, dpid, port);
+            } else {
+                // Admin-down is observed immediately (no pulse wait).
+                let desc = {
+                    let sw = self.net.switches.get_mut(&dpid).expect("checked");
+                    let p = sw.ports.get_mut(&port).expect("checked");
+                    p.detected_up = false;
+                    openflow::PortDesc {
+                        port_no: port,
+                        hw_addr: p.hw_addr,
+                        state: openflow::PortLinkState::Down,
+                    }
+                };
+                let now = self.core.now();
+                self.net.trace.push(TraceEvent::PortDown {
+                    at: now,
+                    dpid,
+                    port,
+                });
+                switch::send_to_controller(
+                    &mut self.core,
+                    &self.net,
+                    dpid,
+                    OfMessage::PortStatus {
+                        reason: openflow::PortStatusReason::Modify,
+                        desc,
+                        observed_at: now,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Downcasts the controller to a concrete type.
+    pub fn controller_as<T: 'static>(&self) -> Option<&T> {
+        self.controller
+            .as_ref()
+            .and_then(|c| c.as_any().downcast_ref())
+    }
+
+    /// Downcasts the controller to a concrete type, mutably.
+    pub fn controller_as_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.controller
+            .as_mut()
+            .and_then(|c| c.as_any_mut().downcast_mut())
+    }
+
+    /// Downcasts a host's app to a concrete type.
+    pub fn host_app_as<T: 'static>(&self, host: HostId) -> Option<&T> {
+        self.net
+            .hosts
+            .get(&host)?
+            .app
+            .as_ref()
+            .and_then(|a| a.as_any().downcast_ref())
+    }
+
+    /// Downcasts a host's app to a concrete type, mutably.
+    pub fn host_app_as_mut<T: 'static>(&mut self, host: HostId) -> Option<&mut T> {
+        self.net
+            .hosts
+            .get_mut(&host)?
+            .app
+            .as_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut())
+    }
+
+    /// Imperatively takes a host's interface down (scenario scripting).
+    pub fn host_iface_down(&mut self, host: HostId) {
+        let mut ctx = HostCtx {
+            core: &mut self.core,
+            net: &mut self.net,
+            host,
+        };
+        ctx.iface_down();
+    }
+
+    /// Imperatively schedules a host's interface to come up.
+    pub fn host_schedule_iface_up(
+        &mut self,
+        host: HostId,
+        delay: Duration,
+        identity: Option<(MacAddr, IpAddr)>,
+    ) {
+        let mut ctx = HostCtx {
+            core: &mut self.core,
+            net: &mut self.net,
+            host,
+        };
+        ctx.schedule_iface_up(delay, identity);
+    }
+
+    /// Imperatively sends a frame from a host.
+    pub fn host_send_frame(&mut self, host: HostId, frame: EthernetFrame) -> bool {
+        let mut ctx = HostCtx {
+            core: &mut self.core,
+            net: &mut self.net,
+            host,
+        };
+        ctx.send_frame(frame)
+    }
+
+    /// Runs `f` with mutable access to a host's app and its context —
+    /// the escape hatch scenario drivers use to poke attack state machines.
+    pub fn with_host_app<R>(
+        &mut self,
+        host: HostId,
+        f: impl FnOnce(&mut dyn HostApp, &mut HostCtx<'_>) -> R,
+    ) -> Option<R> {
+        let mut app = self.net.hosts.get_mut(&host)?.app.take()?;
+        let mut ctx = HostCtx {
+            core: &mut self.core,
+            net: &mut self.net,
+            host,
+        };
+        let r = f(app.as_mut(), &mut ctx);
+        if let Some(h) = self.net.hosts.get_mut(&host) {
+            h.app = Some(app);
+        }
+        Some(r)
+    }
+
+    fn with_controller<R>(
+        &mut self,
+        f: impl FnOnce(&mut dyn ControllerLogic, &mut ControllerCtx<'_>) -> R,
+    ) -> Option<R> {
+        let mut controller = self.controller.take()?;
+        let mut ctx = ControllerCtx {
+            core: &mut self.core,
+            net: &mut self.net,
+        };
+        let r = f(controller.as_mut(), &mut ctx);
+        self.controller = Some(controller);
+        Some(r)
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::DeliverToSwitch { dpid, port, frame } => {
+                switch::handle_frame(&mut self.core, &mut self.net, dpid, port, frame);
+            }
+            Event::DeliverToHost { host, frame } => {
+                deliver_frame(&mut self.core, &mut self.net, host, frame);
+            }
+            Event::DeliverOob { to, from, frame } => {
+                self.net.trace.push(TraceEvent::OobRelay {
+                    at: self.core.now(),
+                    from,
+                    to,
+                });
+                self.with_host_app(to, |app, ctx| app.on_oob_frame(ctx, from, frame));
+            }
+            Event::CtrlToSwitch { dpid, msg } => {
+                switch::handle_ctrl(&mut self.core, &mut self.net, dpid, msg);
+            }
+            Event::CtrlToController { dpid, msg } => {
+                self.with_controller(|logic, ctx| logic.on_message(ctx, dpid, msg));
+            }
+            Event::ControllerTimer { id } => {
+                self.with_controller(|logic, ctx| {
+                    logic.on_timer(ctx, crate::controller_api::TimerId(id))
+                });
+            }
+            Event::HostTimer { host, id } => {
+                self.with_host_app(host, |app, ctx| app.on_timer(ctx, id));
+            }
+            Event::SwitchExpiryTick { dpid } => {
+                switch::handle_expiry_tick(&mut self.core, &mut self.net, dpid);
+            }
+            Event::PulseCheck {
+                dpid,
+                port,
+                down_epoch,
+            } => {
+                switch::handle_pulse_check(&mut self.core, &mut self.net, dpid, port, down_epoch);
+            }
+            Event::PulseCheckUp { dpid, port } => {
+                let host_up = match self
+                    .net
+                    .switches
+                    .get(&dpid)
+                    .and_then(|sw| sw.ports.get(&port))
+                {
+                    Some(p) => match p.peer {
+                        Peer::Host { host } => {
+                            self.net.hosts.get(&host).map(|h| h.iface_up).unwrap_or(false)
+                        }
+                        Peer::Switch { .. } => true,
+                    },
+                    None => return,
+                };
+                if host_up {
+                    switch::declare_port_up(&mut self.core, &mut self.net, dpid, port);
+                }
+            }
+            Event::HostIfaceUp {
+                host,
+                epoch,
+                identity,
+            } => {
+                let current = match self.net.hosts.get(&host) {
+                    Some(h) => h.up_epoch,
+                    None => return,
+                };
+                if current != epoch {
+                    return; // superseded by a later down/up cycle
+                }
+                {
+                    let mut ctx = HostCtx {
+                        core: &mut self.core,
+                        net: &mut self.net,
+                        host,
+                    };
+                    ctx.complete_iface_up(identity);
+                }
+                self.with_host_app(host, |app, ctx| app.on_iface_up(ctx));
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Switch port descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use sdn_types::{MacAddr, PortNo};
+
+/// The administrative/link state of a switch port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PortLinkState {
+    /// Link is up and carrying traffic.
+    Up,
+    /// Link is down (cable unplugged, interface disabled, or — in the Port
+    /// Amnesia attack — deliberately bounced by the attacker).
+    Down,
+}
+
+/// A description of one switch port, as carried in FeaturesReply and
+/// PortStatus messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PortDesc {
+    /// The port number.
+    pub port_no: PortNo,
+    /// The port's hardware address.
+    pub hw_addr: MacAddr,
+    /// Current link state.
+    pub state: PortLinkState,
+}
+
+impl PortDesc {
+    /// Creates an up port description.
+    pub fn up(port_no: PortNo, hw_addr: MacAddr) -> Self {
+        PortDesc {
+            port_no,
+            hw_addr,
+            state: PortLinkState::Up,
+        }
+    }
+
+    /// Returns `true` if the link is up.
+    pub fn is_up(&self) -> bool {
+        self.state == PortLinkState::Up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_constructor() {
+        let desc = PortDesc::up(PortNo::new(1), MacAddr::new([1; 6]));
+        assert!(desc.is_up());
+        let down = PortDesc {
+            state: PortLinkState::Down,
+            ..desc
+        };
+        assert!(!down.is_up());
+    }
+}

@@ -1,0 +1,440 @@
+//! The switch flow table: priority-ordered rules with timeouts and
+//! counters.
+
+use serde::{Deserialize, Serialize};
+
+use sdn_types::packet::EthernetFrame;
+use sdn_types::{Duration, PortNo, SimTime};
+
+use crate::actions::apply_actions;
+use crate::messages::{FlowRemovedReason, FlowStatsEntry};
+use crate::{Action, FlowMatch};
+
+/// One installed flow rule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    /// The match guard.
+    pub flow_match: FlowMatch,
+    /// Priority; higher values are consulted first.
+    pub priority: u16,
+    /// Actions applied on match (empty = drop).
+    pub actions: Vec<Action>,
+    /// Idle timeout; rule is evicted after this long without a hit.
+    pub idle_timeout: Option<Duration>,
+    /// Hard timeout; rule is evicted this long after installation
+    /// regardless of traffic.
+    pub hard_timeout: Option<Duration>,
+    /// Opaque controller cookie.
+    pub cookie: u64,
+    /// Packets that matched this rule.
+    pub packet_count: u64,
+    /// Bytes that matched this rule.
+    pub byte_count: u64,
+    installed_at: SimTime,
+    last_hit: SimTime,
+}
+
+impl FlowEntry {
+    /// Creates a rule with default priority 100 and no timeouts.
+    pub fn new(flow_match: FlowMatch, actions: Vec<Action>) -> Self {
+        FlowEntry {
+            flow_match,
+            priority: 100,
+            actions,
+            idle_timeout: None,
+            hard_timeout: None,
+            cookie: 0,
+            packet_count: 0,
+            byte_count: 0,
+            installed_at: SimTime::ZERO,
+            last_hit: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the priority.
+    pub fn with_priority(mut self, priority: u16) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the idle timeout.
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the hard timeout.
+    pub fn with_hard_timeout(mut self, timeout: Duration) -> Self {
+        self.hard_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    fn expired_reason(&self, now: SimTime) -> Option<FlowRemovedReason> {
+        if let Some(hard) = self.hard_timeout {
+            if now.since(self.installed_at) >= hard {
+                return Some(FlowRemovedReason::HardTimeout);
+            }
+        }
+        if let Some(idle) = self.idle_timeout {
+            if now.since(self.last_hit) >= idle {
+                return Some(FlowRemovedReason::IdleTimeout);
+            }
+        }
+        None
+    }
+}
+
+/// A rule evicted from the table, with the reason and final counters —
+/// the payload of a FlowRemoved message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RemovedFlow {
+    /// The evicted rule.
+    pub entry: FlowEntry,
+    /// Why it was evicted.
+    pub reason: FlowRemovedReason,
+}
+
+/// The outcome of offering a packet to the table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatchOutcome {
+    /// A rule matched; the (possibly rewritten) frame must be emitted on
+    /// these ports. An empty list means the rule dropped the packet.
+    Forward {
+        /// Output ports, in action order.
+        ports: Vec<PortNo>,
+        /// The frame after rewrite actions.
+        frame: EthernetFrame,
+    },
+    /// No rule matched (table miss) — becomes a PacketIn.
+    Miss,
+}
+
+/// A priority-ordered flow table.
+///
+/// Rules are consulted highest-priority first; among equal priorities the
+/// earliest-installed wins (stable order).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over installed rules in consultation order.
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Installs `entry` at time `now`. An existing rule with identical match
+    /// and priority is replaced (counters reset), per OpenFlow semantics.
+    pub fn insert(&mut self, mut entry: FlowEntry, now: SimTime) {
+        entry.installed_at = now;
+        entry.last_hit = now;
+        entry.packet_count = 0;
+        entry.byte_count = 0;
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.flow_match == entry.flow_match && e.priority == entry.priority)
+        {
+            *existing = entry;
+            return;
+        }
+        // Insert maintaining descending priority, stable among equals.
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.priority < entry.priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, entry);
+    }
+
+    /// Deletes all rules subsumed by the wildcard pattern `flow_match`
+    /// (OpenFlow 1.0 DELETE semantics), returning them.
+    pub fn delete(&mut self, flow_match: &FlowMatch) -> Vec<RemovedFlow> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if flow_match.subsumes(&e.flow_match) {
+                removed.push(RemovedFlow {
+                    entry: e.clone(),
+                    reason: FlowRemovedReason::Delete,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Deletes every rule, returning them (used on switch restart).
+    pub fn clear(&mut self) -> Vec<RemovedFlow> {
+        self.entries
+            .drain(..)
+            .map(|entry| RemovedFlow {
+                entry,
+                reason: FlowRemovedReason::Delete,
+            })
+            .collect()
+    }
+
+    /// Offers `frame` (arriving on `in_port` at `now`) to the table.
+    ///
+    /// On a hit the matched rule's counters and idle timer are updated and
+    /// the rewritten frame plus output ports are returned.
+    pub fn process(
+        &mut self,
+        frame: &EthernetFrame,
+        in_port: PortNo,
+        now: SimTime,
+    ) -> MatchOutcome {
+        let wire_len = frame.wire_len() as u64;
+        for entry in &mut self.entries {
+            if entry.expired_reason(now).is_some() {
+                continue; // expired rules never match; eviction happens in `expire`
+            }
+            if entry.flow_match.matches(frame, in_port) {
+                entry.packet_count += 1;
+                entry.byte_count += wire_len;
+                entry.last_hit = now;
+                let mut rewritten = frame.clone();
+                let ports = apply_actions(&entry.actions, &mut rewritten);
+                return MatchOutcome::Forward {
+                    ports,
+                    frame: rewritten,
+                };
+            }
+        }
+        MatchOutcome::Miss
+    }
+
+    /// Evicts expired rules as of `now`, returning them for FlowRemoved
+    /// notifications.
+    pub fn expire(&mut self, now: SimTime) -> Vec<RemovedFlow> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| match e.expired_reason(now) {
+            Some(reason) => {
+                removed.push(RemovedFlow {
+                    entry: e.clone(),
+                    reason,
+                });
+                false
+            }
+            None => true,
+        });
+        removed
+    }
+
+    /// Snapshots per-flow statistics (for a FlowStatsReply).
+    pub fn stats(&self) -> Vec<FlowStatsEntry> {
+        self.entries
+            .iter()
+            .map(|e| FlowStatsEntry {
+                flow_match: e.flow_match,
+                priority: e.priority,
+                packet_count: e.packet_count,
+                byte_count: e.byte_count,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_types::packet::Payload;
+    use sdn_types::MacAddr;
+
+    fn frame(dst: u8) -> EthernetFrame {
+        EthernetFrame::new(
+            MacAddr::new([1; 6]),
+            MacAddr::new([dst; 6]),
+            Payload::Opaque {
+                ethertype: 0x1234,
+                data: vec![0; 50],
+            },
+        )
+    }
+
+    fn out(port: u16) -> Vec<Action> {
+        vec![Action::Output(PortNo::new(port))]
+    }
+
+    #[test]
+    fn miss_on_empty_table() {
+        let mut table = FlowTable::new();
+        assert_eq!(
+            table.process(&frame(2), PortNo::new(1), SimTime::ZERO),
+            MatchOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let mut table = FlowTable::new();
+        table.insert(
+            FlowEntry::new(FlowMatch::new(), out(1)).with_priority(1),
+            SimTime::ZERO,
+        );
+        table.insert(
+            FlowEntry::new(
+                FlowMatch::new().with_eth_dst(MacAddr::new([2; 6])),
+                out(2),
+            )
+            .with_priority(10),
+            SimTime::ZERO,
+        );
+        match table.process(&frame(2), PortNo::new(9), SimTime::ZERO) {
+            MatchOutcome::Forward { ports, .. } => assert_eq!(ports, vec![PortNo::new(2)]),
+            other => panic!("expected forward, got {other:?}"),
+        }
+        // Non-matching dst falls through to the low-priority catch-all.
+        match table.process(&frame(3), PortNo::new(9), SimTime::ZERO) {
+            MatchOutcome::Forward { ports, .. } => assert_eq!(ports, vec![PortNo::new(1)]),
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut table = FlowTable::new();
+        table.insert(FlowEntry::new(FlowMatch::new(), out(1)), SimTime::ZERO);
+        let f = frame(2);
+        let len = f.wire_len() as u64;
+        for _ in 0..3 {
+            table.process(&f, PortNo::new(1), SimTime::ZERO);
+        }
+        let stats = table.stats();
+        assert_eq!(stats[0].packet_count, 3);
+        assert_eq!(stats[0].byte_count, 3 * len);
+    }
+
+    #[test]
+    fn reinsert_resets_counters() {
+        let mut table = FlowTable::new();
+        table.insert(FlowEntry::new(FlowMatch::new(), out(1)), SimTime::ZERO);
+        table.process(&frame(2), PortNo::new(1), SimTime::ZERO);
+        table.insert(FlowEntry::new(FlowMatch::new(), out(2)), SimTime::from_secs(1));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.stats()[0].packet_count, 0);
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut table = FlowTable::new();
+        table.insert(
+            FlowEntry::new(FlowMatch::new(), out(1)).with_hard_timeout(Duration::from_secs(10)),
+            SimTime::ZERO,
+        );
+        assert!(table.expire(SimTime::from_secs(9)).is_empty());
+        let removed = table.expire(SimTime::from_secs(10));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::HardTimeout);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_hit() {
+        let mut table = FlowTable::new();
+        table.insert(
+            FlowEntry::new(FlowMatch::new(), out(1)).with_idle_timeout(Duration::from_secs(5)),
+            SimTime::ZERO,
+        );
+        // Traffic at t=4 keeps the rule alive past t=5.
+        table.process(&frame(2), PortNo::new(1), SimTime::from_secs(4));
+        assert!(table.expire(SimTime::from_secs(8)).is_empty());
+        // No traffic from t=4 to t=9 -> idle-expired.
+        let removed = table.expire(SimTime::from_secs(9));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn expired_rule_does_not_match_before_eviction() {
+        let mut table = FlowTable::new();
+        table.insert(
+            FlowEntry::new(FlowMatch::new(), out(1)).with_hard_timeout(Duration::from_secs(1)),
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            table.process(&frame(2), PortNo::new(1), SimTime::from_secs(2)),
+            MatchOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn delete_by_match() {
+        let mut table = FlowTable::new();
+        let m = FlowMatch::new().with_eth_dst(MacAddr::new([2; 6]));
+        table.insert(FlowEntry::new(m, out(1)), SimTime::ZERO);
+        table.insert(FlowEntry::new(FlowMatch::new(), out(2)), SimTime::ZERO);
+        let removed = table.delete(&m);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::Delete);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn rewrite_actions_apply_to_forwarded_frame() {
+        let mut table = FlowTable::new();
+        table.insert(
+            FlowEntry::new(
+                FlowMatch::new(),
+                vec![
+                    Action::SetEthDst(MacAddr::new([9; 6])),
+                    Action::Output(PortNo::new(4)),
+                ],
+            ),
+            SimTime::ZERO,
+        );
+        match table.process(&frame(2), PortNo::new(1), SimTime::ZERO) {
+            MatchOutcome::Forward { frame, ports } => {
+                assert_eq!(frame.dst, MacAddr::new([9; 6]));
+                assert_eq!(ports, vec![PortNo::new(4)]);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_rule_forwards_nowhere() {
+        let mut table = FlowTable::new();
+        table.insert(FlowEntry::new(FlowMatch::new(), vec![]), SimTime::ZERO);
+        match table.process(&frame(2), PortNo::new(1), SimTime::ZERO) {
+            MatchOutcome::Forward { ports, .. } => assert!(ports.is_empty()),
+            other => panic!("expected forward(drop), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clear_returns_all() {
+        let mut table = FlowTable::new();
+        table.insert(FlowEntry::new(FlowMatch::new(), out(1)), SimTime::ZERO);
+        table.insert(
+            FlowEntry::new(FlowMatch::new().with_in_port(PortNo::new(2)), out(2)),
+            SimTime::ZERO,
+        );
+        assert_eq!(table.clear().len(), 2);
+        assert!(table.is_empty());
+    }
+}

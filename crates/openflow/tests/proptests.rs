@@ -1,0 +1,246 @@
+//! Property tests for flow-table invariants.
+
+use proptest::prelude::*;
+
+use openflow::{Action, FlowEntry, FlowMatch, FlowTable, MatchOutcome};
+use sdn_types::packet::{EthernetFrame, Payload};
+use sdn_types::{Duration, MacAddr, PortNo, SimTime};
+
+fn arb_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        proptest::option::of(0u16..8),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(any::<u8>()),
+    )
+        .prop_map(|(in_port, src, dst)| {
+            let mut m = FlowMatch::new();
+            if let Some(p) = in_port {
+                m = m.with_in_port(PortNo::new(p));
+            }
+            if let Some(s) = src {
+                m = m.with_eth_src(MacAddr::new([s; 6]));
+            }
+            if let Some(d) = dst {
+                m = m.with_eth_dst(MacAddr::new([d; 6]));
+            }
+            m
+        })
+}
+
+fn arb_entry() -> impl Strategy<Value = FlowEntry> {
+    (arb_match(), 0u16..1000, 0u16..8).prop_map(|(m, priority, port)| {
+        FlowEntry::new(m, vec![Action::Output(PortNo::new(port))]).with_priority(priority)
+    })
+}
+
+fn frame(src: u8, dst: u8) -> EthernetFrame {
+    EthernetFrame::new(
+        MacAddr::new([src; 6]),
+        MacAddr::new([dst; 6]),
+        Payload::Opaque {
+            ethertype: 0x1234,
+            data: vec![0; 10],
+        },
+    )
+}
+
+proptest! {
+    /// The table always consults rules in non-increasing priority order.
+    #[test]
+    fn priorities_are_sorted_after_any_insert_sequence(entries in proptest::collection::vec(arb_entry(), 0..40)) {
+        let mut table = FlowTable::new();
+        for e in entries {
+            table.insert(e, SimTime::ZERO);
+        }
+        let priorities: Vec<u16> = table.entries().map(|e| e.priority).collect();
+        for pair in priorities.windows(2) {
+            prop_assert!(pair[0] >= pair[1], "priorities must be non-increasing: {priorities:?}");
+        }
+    }
+
+    /// A returned match must actually match the frame, and must be the
+    /// first (highest-priority) matching rule.
+    #[test]
+    fn process_returns_highest_priority_match(
+        entries in proptest::collection::vec(arb_entry(), 1..30),
+        src in any::<u8>(),
+        dst in any::<u8>(),
+        in_port in 0u16..8,
+    ) {
+        let mut table = FlowTable::new();
+        for e in entries {
+            table.insert(e, SimTime::ZERO);
+        }
+        let f = frame(src, dst);
+        let port = PortNo::new(in_port);
+        let expected = table
+            .entries()
+            .find(|e| e.flow_match.matches(&f, port))
+            .map(|e| e.actions.clone());
+        let snapshot: Vec<FlowEntry> = table.entries().cloned().collect();
+        match (table.process(&f, port, SimTime::ZERO), expected) {
+            (MatchOutcome::Miss, None) => {}
+            (MatchOutcome::Miss, Some(_)) => prop_assert!(false, "missed but a rule matches"),
+            (MatchOutcome::Forward { .. }, None) => prop_assert!(false, "forwarded with no matching rule: {snapshot:?}"),
+            (MatchOutcome::Forward { ports, .. }, Some(actions)) => {
+                let want: Vec<PortNo> = actions.iter().filter_map(|a| match a {
+                    Action::Output(p) => Some(*p),
+                    _ => None,
+                }).collect();
+                prop_assert_eq!(ports, want);
+            }
+        }
+    }
+
+    /// Counters: total packet count across rules equals the number of hits.
+    #[test]
+    fn counters_sum_to_hits(
+        entries in proptest::collection::vec(arb_entry(), 1..10),
+        frames in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u16..8), 0..50),
+    ) {
+        let mut table = FlowTable::new();
+        for e in entries {
+            table.insert(e, SimTime::ZERO);
+        }
+        let mut hits = 0u64;
+        for (src, dst, port) in frames {
+            if let MatchOutcome::Forward { .. } =
+                table.process(&frame(src, dst), PortNo::new(port), SimTime::ZERO)
+            {
+                hits += 1;
+            }
+        }
+        let total: u64 = table.stats().iter().map(|s| s.packet_count).sum();
+        prop_assert_eq!(total, hits);
+    }
+
+    /// Expiry is total: after expire(t ≥ all hard timeouts), no timed rule
+    /// survives, and expire never removes a rule with no timeout.
+    #[test]
+    fn expiry_respects_timeouts(
+        timeouts in proptest::collection::vec(proptest::option::of(1u64..100), 1..20),
+    ) {
+        let mut table = FlowTable::new();
+        let mut timed = 0usize;
+        for (i, t) in timeouts.iter().enumerate() {
+            let mut e = FlowEntry::new(
+                FlowMatch::new().with_in_port(PortNo::new(i as u16)),
+                vec![Action::Output(PortNo::new(1))],
+            );
+            if let Some(secs) = t {
+                e = e.with_hard_timeout(Duration::from_secs(*secs));
+                timed += 1;
+            }
+            table.insert(e, SimTime::ZERO);
+        }
+        let total = table.len();
+        let removed = table.expire(SimTime::from_secs(200));
+        prop_assert_eq!(removed.len(), timed);
+        prop_assert_eq!(table.len(), total - timed);
+    }
+}
+
+// ---------- wire codec ----------
+
+use openflow::wire;
+use openflow::{FlowModCommand, OfMessage, Xid};
+use sdn_types::{IpAddr, MacAddr as Mac};
+
+fn arb_full_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        proptest::option::of(0u16..0xff00),
+        proptest::option::of(any::<[u8; 6]>()),
+        proptest::option::of(any::<[u8; 6]>()),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(any::<[u8; 4]>()),
+        proptest::option::of(any::<[u8; 4]>()),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(any::<u16>()),
+    )
+        .prop_map(
+            |(in_port, src, dst, et, ip_s, ip_d, proto, l4s, l4d)| FlowMatch {
+                in_port: in_port.map(PortNo::new),
+                eth_src: src.map(Mac::new),
+                eth_dst: dst.map(Mac::new),
+                ethertype: et,
+                ip_src: ip_s.map(IpAddr::from),
+                ip_dst: ip_d.map(IpAddr::from),
+                ip_proto: proto,
+                l4_src: l4s,
+                l4_dst: l4d,
+            },
+        )
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..0xff00).prop_map(|p| Action::Output(PortNo::new(p))),
+            any::<[u8; 6]>().prop_map(|m| Action::SetEthSrc(Mac::new(m))),
+            any::<[u8; 6]>().prop_map(|m| Action::SetEthDst(Mac::new(m))),
+            any::<[u8; 4]>().prop_map(|ip| Action::SetIpSrc(IpAddr::from(ip))),
+            any::<[u8; 4]>().prop_map(|ip| Action::SetIpDst(IpAddr::from(ip))),
+        ],
+        0..5,
+    )
+}
+
+proptest! {
+    /// Any FlowMod survives the OpenFlow 1.0 binary wire format.
+    #[test]
+    fn wire_flow_mod_round_trips(
+        xid in any::<u32>(),
+        m in arb_full_match(),
+        actions in arb_actions(),
+        priority in any::<u16>(),
+        idle in any::<u16>(),
+        hard in any::<u16>(),
+        cookie in any::<u64>(),
+        delete in any::<bool>(),
+    ) {
+        let msg = OfMessage::FlowMod {
+            command: if delete { FlowModCommand::Delete } else { FlowModCommand::Add },
+            flow_match: m,
+            priority,
+            idle_timeout_secs: idle,
+            hard_timeout_secs: hard,
+            actions,
+            cookie,
+        };
+        let bytes = wire::encode(Xid(u64::from(xid)), &msg);
+        let (got_xid, decoded) = wire::decode(&bytes).expect("round trip");
+        prop_assert_eq!(got_xid, Xid(u64::from(xid)));
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// PacketIn/PacketOut data payloads survive byte-exactly.
+    #[test]
+    fn wire_packet_messages_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        in_port in 0u16..0xff00,
+        actions in arb_actions(),
+    ) {
+        let pin = OfMessage::PacketIn {
+            in_port: PortNo::new(in_port),
+            reason: openflow::PacketInReason::NoMatch,
+            data: data.clone(),
+        };
+        let (_, decoded) = wire::decode(&wire::encode(Xid(1), &pin)).expect("packet-in");
+        prop_assert_eq!(decoded, pin);
+
+        let pout = OfMessage::PacketOut {
+            in_port: PortNo::new(in_port),
+            actions,
+            data,
+        };
+        let (_, decoded) = wire::decode(&wire::encode(Xid(2), &pout)).expect("packet-out");
+        prop_assert_eq!(decoded, pout);
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn wire_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&bytes);
+    }
+}

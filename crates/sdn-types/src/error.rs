@@ -1,0 +1,95 @@
+//! Parse errors for wire formats.
+
+use std::fmt;
+
+/// An error produced while parsing a packet or address from wire bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// Which structure was being parsed.
+        what: &'static str,
+        /// How many bytes were required.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// A field held a value that is not valid for the structure.
+    BadField {
+        /// Which structure was being parsed.
+        what: &'static str,
+        /// Description of the problem.
+        detail: &'static str,
+    },
+    /// The overall structure is malformed (e.g. TLV list without terminator).
+    Malformed {
+        /// Which structure was being parsed.
+        what: &'static str,
+        /// Description of the problem.
+        detail: &'static str,
+    },
+}
+
+impl ParseError {
+    /// Convenience constructor for [`ParseError::Truncated`].
+    pub fn truncated(what: &'static str, needed: usize, available: usize) -> Self {
+        ParseError::Truncated {
+            what,
+            needed,
+            available,
+        }
+    }
+
+    /// Convenience constructor for [`ParseError::BadField`].
+    pub fn bad_field(what: &'static str, detail: &'static str) -> Self {
+        ParseError::BadField { what, detail }
+    }
+
+    /// Convenience constructor for [`ParseError::Malformed`].
+    pub fn malformed(what: &'static str, detail: &'static str) -> Self {
+        ParseError::Malformed { what, detail }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            ParseError::BadField { what, detail } => {
+                write!(f, "bad field in {what}: {detail}")
+            }
+            ParseError::Malformed { what, detail } => {
+                write!(f, "malformed {what}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ParseError::truncated("EthernetFrame", 14, 3);
+        assert!(err.to_string().contains("EthernetFrame"));
+        assert!(err.to_string().contains("14"));
+        let err = ParseError::bad_field("ArpPacket", "unknown opcode");
+        assert!(err.to_string().contains("unknown opcode"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&ParseError::malformed("Lldp", "no end TLV"));
+    }
+}

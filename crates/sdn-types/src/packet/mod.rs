@@ -1,0 +1,74 @@
+//! Byte-accurate packet model.
+//!
+//! The simulation moves [`EthernetFrame`]s between nodes. A frame carries a
+//! typed [`Payload`] — ARP, IPv4 (with ICMP/TCP/UDP transport), LLDP, or an
+//! opaque byte blob — and every layer encodes to and parses from big-endian
+//! wire bytes. Defenses therefore only observe information a real controller
+//! would observe, and attacks (e.g. LLDP relaying) operate on real buffers.
+
+mod arp;
+mod ethernet;
+mod icmp;
+mod ipv4;
+mod lldp;
+mod tcp;
+mod udp;
+
+pub use arp::{ArpOp, ArpPacket};
+pub use ethernet::{EtherType, EthernetFrame, Payload};
+pub use icmp::{IcmpPacket, IcmpType};
+pub use ipv4::{IpProtocol, Ipv4Packet, Transport};
+pub use lldp::{LldpPacket, LldpTlv, TlvType, LLDP_ORG_TOPOMIRAGE};
+pub use tcp::{TcpFlags, TcpSegment};
+pub use udp::UdpDatagram;
+
+/// Computes the Internet checksum (RFC 1071) over `data`.
+///
+/// Used for the IPv4 header checksum and ICMP checksum.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_of_zeroes_is_all_ones() {
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xffff);
+    }
+
+    #[test]
+    fn checksum_rfc1071_example() {
+        // Example from RFC 1071 §3: words 0001 f203 f4f5 f6f7 -> sum ddf2,
+        // checksum is its complement 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn checksum_handles_odd_length() {
+        // Trailing byte is padded with zero.
+        assert_eq!(internet_checksum(&[0xab]), internet_checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn checksum_validates_packet_with_embedded_checksum() {
+        // A buffer whose checksum field is already correct sums to zero.
+        let mut data = vec![0x45, 0x00, 0x00, 0x14, 0x00, 0x00];
+        let csum = internet_checksum(&data);
+        data.extend_from_slice(&csum.to_be_bytes());
+        assert_eq!(internet_checksum(&data), 0);
+    }
+}

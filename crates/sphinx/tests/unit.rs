@@ -1,0 +1,146 @@
+//! Direct unit tests of the SPHINX surrogate's invariants.
+
+use controller::test_support::ModuleHarness;
+use controller::{AlertKind, Command, DefenseModule, DirectedLink, HostMove};
+use openflow::{Action, FlowMatch, FlowModCommand, FlowStatsEntry, OfMessage};
+use sdn_types::{DatapathId, MacAddr, PortNo, SimTime, SwitchPort};
+use sphinx::{Sphinx, SphinxConfig};
+
+fn sp(d: u64, p: u16) -> SwitchPort {
+    SwitchPort::new(DatapathId::new(d), PortNo::new(p))
+}
+
+fn flow_mod(src: MacAddr, dst: MacAddr) -> OfMessage {
+    OfMessage::FlowMod {
+        command: FlowModCommand::Add,
+        flow_match: FlowMatch::new().with_eth_src(src).with_eth_dst(dst),
+        priority: 100,
+        idle_timeout_secs: 5,
+        hard_timeout_secs: 0,
+        actions: vec![Action::Output(PortNo::new(1))],
+        cookie: 0,
+    }
+}
+
+fn stats(src: MacAddr, dst: MacAddr, bytes: u64) -> Vec<FlowStatsEntry> {
+    vec![FlowStatsEntry {
+        flow_match: FlowMatch::new().with_eth_src(src).with_eth_dst(dst),
+        priority: 100,
+        packet_count: bytes / 100,
+        byte_count: bytes,
+    }]
+}
+
+#[test]
+fn flow_mods_build_the_trusted_flow_graph() {
+    let mut h = ModuleHarness::new();
+    let mut sphinx = Sphinx::new(SphinxConfig::default());
+    let (a, b) = (MacAddr::from_index(1), MacAddr::from_index(2));
+    for dpid in [1u64, 2, 3] {
+        sphinx.on_flow_mod(&mut h.ctx(SimTime::ZERO), DatapathId::new(dpid), &flow_mod(a, b));
+    }
+    let key = sphinx::FlowKey { src: a, dst: b };
+    assert_eq!(sphinx.flows[&key].waypoints.len(), 3);
+}
+
+#[test]
+fn consistent_counters_stay_silent_divergent_counters_alert() {
+    let mut h = ModuleHarness::new();
+    let mut sphinx = Sphinx::new(SphinxConfig::default());
+    let (a, b) = (MacAddr::from_index(1), MacAddr::from_index(2));
+
+    // Both switches report roughly equal byte counts: fine.
+    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(1)), DatapathId::new(1), &stats(a, b, 10_000));
+    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(1)), DatapathId::new(2), &stats(a, b, 9_500));
+    assert!(h.alerts.is_empty());
+
+    // Switch 2 stops seeing traffic (a drop/black-hole): alerts on every
+    // polling round that still shows the divergence.
+    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(3)), DatapathId::new(1), &stats(a, b, 50_000));
+    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(3)), DatapathId::new(2), &stats(a, b, 9_600));
+    assert!(h.alerts.count(AlertKind::FlowInconsistency) >= 1);
+}
+
+#[test]
+fn low_volume_flows_are_not_judged() {
+    let mut h = ModuleHarness::new();
+    let mut sphinx = Sphinx::new(SphinxConfig::default());
+    let (a, b) = (MacAddr::from_index(1), MacAddr::from_index(2));
+    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(1)), DatapathId::new(1), &stats(a, b, 400));
+    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(1)), DatapathId::new(2), &stats(a, b, 10));
+    assert!(h.alerts.is_empty(), "below counter_min_bytes");
+}
+
+#[test]
+fn single_move_is_fine_oscillation_alerts_but_never_blocks() {
+    let mut h = ModuleHarness::new();
+    let mut sphinx = Sphinx::new(SphinxConfig::default());
+    let mac = MacAddr::from_index(3);
+    let mv = |from, to, at| HostMove {
+        mac,
+        ip: None,
+        from,
+        to,
+        at,
+    };
+
+    // One legitimate migration: no alert, and never blocked.
+    let v = sphinx.on_host_move(
+        &mut h.ctx(SimTime::from_secs(1)),
+        &mv(sp(1, 1), sp(2, 1), SimTime::from_secs(1)),
+    );
+    assert_eq!(v, Command::Continue);
+    assert!(h.alerts.is_empty());
+
+    // A second move within the window: oscillation.
+    let v = sphinx.on_host_move(
+        &mut h.ctx(SimTime::from_secs(3)),
+        &mv(sp(2, 1), sp(1, 1), SimTime::from_secs(3)),
+    );
+    assert_eq!(v, Command::Continue, "SPHINX never blocks");
+    assert_eq!(h.alerts.count(AlertKind::IdentifierConflict), 1);
+}
+
+#[test]
+fn slow_moves_outside_window_do_not_oscillate() {
+    let mut h = ModuleHarness::new();
+    let mut sphinx = Sphinx::new(SphinxConfig::default());
+    let mac = MacAddr::from_index(3);
+    for (i, (from, to)) in [(sp(1, 1), sp(2, 1)), (sp(2, 1), sp(1, 1)), (sp(1, 1), sp(2, 1))]
+        .into_iter()
+        .enumerate()
+    {
+        let at = SimTime::from_secs(i as u64 * 60);
+        sphinx.on_host_move(&mut h.ctx(at), &HostMove { mac, ip: None, from, to, at });
+    }
+    assert!(h.alerts.is_empty(), "minutes apart is normal churn");
+}
+
+#[test]
+fn new_links_trusted_changed_links_alert() {
+    let mut h = ModuleHarness::new();
+    let mut sphinx = Sphinx::new(SphinxConfig::default());
+    let original = DirectedLink::new(sp(1, 1), sp(2, 1));
+    let v = sphinx.on_link_update(&mut h.ctx(SimTime::from_secs(1)), original, true, None);
+    assert_eq!(v, Command::Continue);
+    assert!(h.alerts.is_empty(), "new links are implicitly trusted");
+
+    // Refreshes of the same link: fine.
+    sphinx.on_link_update(&mut h.ctx(SimTime::from_secs(2)), original, false, None);
+    assert!(h.alerts.is_empty());
+
+    // The same port now claims a *different* peer: changed link.
+    let hijacked = DirectedLink::new(sp(1, 1), sp(3, 7));
+    sphinx.on_link_update(&mut h.ctx(SimTime::from_secs(3)), hijacked, true, None);
+    assert_eq!(h.alerts.count(AlertKind::LinkChanged), 1);
+}
+
+#[test]
+fn reverse_direction_is_not_a_change() {
+    let mut h = ModuleHarness::new();
+    let mut sphinx = Sphinx::new(SphinxConfig::default());
+    let fwd = DirectedLink::new(sp(1, 1), sp(2, 1));
+    sphinx.on_link_update(&mut h.ctx(SimTime::from_secs(1)), fwd, true, None);
+    sphinx.on_link_update(&mut h.ctx(SimTime::from_secs(1)), fwd.reversed(), true, None);
+    assert!(h.alerts.is_empty(), "a link's two directions are one link");
+}

@@ -1,0 +1,277 @@
+//! Sampling distributions over a seeded RNG.
+//!
+//! Implemented here (rather than via `rand_distr`) to keep the workspace on
+//! the approved dependency list. Normal variates use the Marsaglia polar
+//! method; the rest are standard transforms.
+
+use rand::Rng;
+
+/// A distribution that can produce `f64` samples from an RNG.
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws `n` samples into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The normal distribution `N(mean, sd²)`.
+///
+/// The paper models enterprise network RTT as `N(20 ms, 5 ms)` (§V-B1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (must be non-negative).
+    pub sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    /// Panics if `sd` is negative or either parameter is not finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(mean.is_finite() && sd.is_finite(), "parameters must be finite");
+        assert!(sd >= 0.0, "standard deviation must be non-negative");
+        Normal { mean, sd }
+    }
+
+    /// Draws a standard-normal variate using the Marsaglia polar method.
+    pub fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Distribution for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * Normal::standard_sample(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+///
+/// Used to model the heavy-tailed identifier-change latency the paper
+/// measures for `ifconfig` (Fig. 4: mean 9.94 ms with a tail to ~160 ms).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (log scale).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal (log scale).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from log-scale parameters.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal whose *arithmetic* mean and standard deviation
+    /// match the given values — convenient for calibrating to measured data.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `sd >= 0`.
+    pub fn from_mean_sd(mean: f64, sd: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        assert!(sd >= 0.0, "sd must be non-negative");
+        let variance_ratio = (sd / mean).powi(2);
+        let sigma2 = (1.0 + variance_ratio).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Normal::standard_sample(rng)).exp()
+    }
+}
+
+/// The exponential distribution with the given rate parameter.
+///
+/// Used for inter-arrival jitter and the micro-burst arrival process on
+/// simulated links (Fig. 10's latency bursts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter λ (events per unit).
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    /// Panics unless `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Exponential { rate }
+    }
+
+    /// Creates from the mean (1/λ).
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0`.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+/// A Pareto distribution shifted to start at `floor`, for heavy-tailed
+/// latency spikes: `floor + scale·(U^(-1/shape) − 1)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShiftedPareto {
+    /// Minimum value (location).
+    pub floor: f64,
+    /// Scale of the excess over the floor.
+    pub scale: f64,
+    /// Tail index; smaller is heavier-tailed.
+    pub shape: f64,
+}
+
+impl ShiftedPareto {
+    /// Creates a shifted Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics unless `scale > 0` and `shape > 0`.
+    pub fn new(floor: f64, scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(shape > 0.0, "shape must be positive");
+        ShiftedPareto { floor, scale, shape }
+    }
+}
+
+impl Distribution for ShiftedPareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.floor + self.scale * (u.powf(-1.0 / self.shape) - 1.0)
+    }
+}
+
+/// The continuous uniform distribution over `[low, high)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UniformRange {
+    /// Inclusive lower bound.
+    pub low: f64,
+    /// Exclusive upper bound.
+    pub high: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution.
+    ///
+    /// # Panics
+    /// Panics unless `low < high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "low must be less than high");
+        UniformRange { low, high }
+    }
+}
+
+impl Distribution for UniformRange {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.low..self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn normal_matches_parameters() {
+        let samples = Normal::new(20.0, 5.0).sample_n(&mut rng(), 20_000);
+        let s = Summary::of(&samples);
+        assert!((s.mean - 20.0).abs() < 0.2, "mean {}", s.mean);
+        assert!((s.sd - 5.0).abs() < 0.2, "sd {}", s.sd);
+    }
+
+    #[test]
+    fn normal_zero_sd_is_constant() {
+        let samples = Normal::new(7.0, 0.0).sample_n(&mut rng(), 100);
+        assert!(samples.iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn lognormal_calibration_matches_mean_and_sd() {
+        let d = LogNormal::from_mean_sd(9.94, 12.0);
+        let samples = d.sample_n(&mut rng(), 100_000);
+        let s = Summary::of(&samples);
+        assert!((s.mean - 9.94).abs() < 0.5, "mean {}", s.mean);
+        assert!((s.sd - 12.0).abs() < 1.5, "sd {}", s.sd);
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let samples = Exponential::from_mean(3.0).sample_n(&mut rng(), 50_000);
+        let s = Summary::of(&samples);
+        assert!((s.mean - 3.0).abs() < 0.1, "mean {}", s.mean);
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_floor_and_has_tail() {
+        let d = ShiftedPareto::new(5.0, 1.0, 2.0);
+        let samples = d.sample_n(&mut rng(), 50_000);
+        assert!(samples.iter().all(|&x| x >= 5.0));
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 15.0, "expected a heavy tail, max was {max}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let samples = UniformRange::new(2.0, 4.0).sample_n(&mut rng(), 10_000);
+        assert!(samples.iter().all(|&x| (2.0..4.0).contains(&x)));
+        let s = Summary::of(&samples);
+        assert!((s.mean - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let a = Normal::new(0.0, 1.0).sample_n(&mut rng(), 10);
+        let b = Normal::new(0.0, 1.0).sample_n(&mut rng(), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn normal_rejects_negative_sd() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn lognormal_rejects_nonpositive_mean() {
+        let _ = LogNormal::from_mean_sd(0.0, 1.0);
+    }
+}

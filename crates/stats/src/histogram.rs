@@ -1,0 +1,173 @@
+//! Fixed-bin histograms with a text renderer, used to regenerate the
+//! paper's distribution figures in terminal output.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// A histogram over `[low, high)` with equal-width bins, plus underflow and
+/// overflow counters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics unless `low < high` and `bins > 0`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(low < high, "low must be less than high");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        if x < self.low {
+            self.underflow += 1;
+        } else if x >= self.high {
+            self.overflow += 1;
+        } else {
+            let width = (self.high - self.low) / self.bins.len() as f64;
+            let idx = ((x - self.low) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Records every sample in `xs`.
+    pub fn record_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Total recorded samples (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Count in each bin.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples that fell below `low`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or above `high`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[start, end)` range of bin `idx`.
+    pub fn bin_range(&self, idx: usize) -> (f64, f64) {
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        (
+            self.low + idx as f64 * width,
+            self.low + (idx + 1) as f64 * width,
+        )
+    }
+
+    /// Summary statistics over all recorded samples.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.samples)
+    }
+
+    /// Renders a textual histogram: one line per bin, bar lengths scaled to
+    /// `width` characters, annotated with ranges and counts. `unit` labels
+    /// the x axis (e.g. `"ms"`).
+    pub fn render(&self, unit: &str, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("  < {:>8.2} {unit} | {}\n", self.low, self.underflow));
+        }
+        for (idx, &count) in self.bins.iter().enumerate() {
+            let (start, end) = self.bin_range(idx);
+            let bar_len = ((count as f64 / max as f64) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  [{start:>8.2}, {end:>8.2}) {unit} |{} {count}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!(" >= {:>8.2} {unit} | {}\n", self.high, self.overflow));
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "  n={} mean={:.3}{unit} sd={:.3}{unit} min={:.3}{unit} max={:.3}{unit}\n",
+            s.count, s.mean, s.sd, s.min, s.max
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record_all(&[0.0, 1.9, 2.0, 5.5, 9.999]);
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bin_ranges_are_contiguous() {
+        let h = Histogram::new(2.0, 4.0, 4);
+        assert_eq!(h.bin_range(0), (2.0, 2.5));
+        assert_eq!(h.bin_range(3), (3.5, 4.0));
+    }
+
+    #[test]
+    fn render_contains_counts_and_summary() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.record_all(&[1.0, 1.0, 3.0]);
+        let text = h.render("ms", 20);
+        assert!(text.contains("n=3"));
+        assert!(text.contains('#'));
+        assert!(text.contains("mean=1.667ms"));
+    }
+
+    #[test]
+    fn summary_tracks_all_samples_even_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record_all(&[0.5, 100.0]);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 100.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! TOPOGUARD+'s Link Latency Inspector (§VI-D).
+//!
+//! Out-of-band Port Amnesia relays LLDP over a side channel, which cannot
+//! avoid adding propagation and encode/decode latency. The LLI measures
+//! every LLDP traversal's switch-link latency as `T_LLDP − T_SW1 − T_SW2`
+//! (encrypted departure timestamp minus the two control-link delays), keeps
+//! verified latencies in a fixed-size store, and flags any new measurement
+//! beyond `Q3 + 3·IQR` as a fabricated link.
+
+use std::any::Any;
+
+use controller::{Alert, AlertKind, Command, DefenseModule, LinkLatencySample, ModuleCtx};
+use controller::DirectedLink;
+use sdn_types::SimTime;
+use serde::{Deserialize, Serialize};
+use tm_stats::{IqrOutlierDetector, IqrVerdict};
+
+/// LLI configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LliConfig {
+    /// Capacity of the verified-latency store (paper: fixed size; we
+    /// default to 100).
+    pub store_capacity: usize,
+    /// Measurements required before judging (warmup).
+    pub min_samples: usize,
+    /// The outlier fence multiplier `k` in `Q3 + k·IQR` (paper: 3).
+    pub iqr_k: f64,
+    /// Veto link updates whose latency is anomalous ("may optionally block
+    /// the topology update").
+    pub block_anomalous_updates: bool,
+}
+
+impl Default for LliConfig {
+    fn default() -> Self {
+        LliConfig {
+            store_capacity: 100,
+            min_samples: 10,
+            iqr_k: 3.0,
+            block_anomalous_updates: true,
+        }
+    }
+}
+
+/// One recorded latency inspection, for regenerating Figs. 10 and 11.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LliObservation {
+    /// When the measurement completed.
+    pub at: SimTime,
+    /// The measured switch-link latency, milliseconds.
+    pub latency_ms: f64,
+    /// The detection threshold at that moment (`None` during warmup).
+    pub threshold_ms: Option<f64>,
+    /// Whether the measurement was flagged anomalous.
+    pub flagged: bool,
+    /// The link the measurement belongs to.
+    pub link: DirectedLink,
+}
+
+/// The Link Latency Inspector.
+pub struct Lli {
+    config: LliConfig,
+    detector: IqrOutlierDetector,
+    /// Full measurement history (Figs. 10/11 series).
+    pub observations: Vec<LliObservation>,
+    /// Anomalies flagged (diagnostics).
+    pub detections: u64,
+}
+
+impl Lli {
+    /// Creates the module.
+    pub fn new(config: LliConfig) -> Self {
+        Lli {
+            detector: IqrOutlierDetector::new(
+                config.store_capacity,
+                config.min_samples,
+                config.iqr_k,
+            ),
+            config,
+            observations: Vec::new(),
+            detections: 0,
+        }
+    }
+
+    /// The current detection threshold, if past warmup.
+    pub fn threshold_ms(&self) -> Option<f64> {
+        self.detector.threshold()
+    }
+}
+
+impl DefenseModule for Lli {
+    fn name(&self) -> &'static str {
+        "topoguard+/lli"
+    }
+
+    fn on_link_update(
+        &mut self,
+        cx: &mut ModuleCtx<'_>,
+        link: DirectedLink,
+        _is_new: bool,
+        sample: Option<LinkLatencySample>,
+    ) -> Command {
+        // No timestamp evidence (LLI disabled controller-side, or control
+        // latency not yet measured): nothing to judge.
+        let Some(latency_ms) = sample.and_then(|s| s.link_latency_ms()) else {
+            return Command::Continue;
+        };
+
+        let threshold_before = self.detector.threshold();
+        let verdict = self.detector.inspect(latency_ms);
+        let flagged = matches!(verdict, IqrVerdict::Outlier { .. });
+        self.observations.push(LliObservation {
+            at: cx.now,
+            latency_ms,
+            threshold_ms: threshold_before,
+            flagged,
+            link,
+        });
+
+        if let IqrVerdict::Outlier { threshold } = verdict {
+            self.detections += 1;
+            cx.alerts.raise(Alert {
+                at: cx.now,
+                source: "topoguard+/lli",
+                kind: AlertKind::AbnormalLinkLatency,
+                detail: format!(
+                    "detected suspicious link discovery: an abnormal delay during LLDP propagation; link delay is abnormal. delay:{:.0}ms, threshold:{:.0}ms ({} -> {})",
+                    latency_ms, threshold, link.src, link.dst
+                ),
+            });
+            if self.config.block_anomalous_updates {
+                return Command::Block;
+            }
+        }
+        Command::Continue
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

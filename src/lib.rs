@@ -1,0 +1,50 @@
+//! # TopoMirage
+//!
+//! A full reproduction of *"Effective Topology Tampering Attacks and
+//! Defenses in Software-Defined Networks"* (Skowyra et al., DSN 2018) as a
+//! Rust workspace: a deterministic SDN simulation, a Floodlight-style
+//! controller, the TopoGuard and SPHINX defenses, the paper's **Port
+//! Amnesia** and **Port Probing** attacks, and the **TOPOGUARD+**
+//! countermeasures (Control Message Monitor + Link Latency Inspector).
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `sdn-types` | addresses, packets, LLDP TLVs, virtual time |
+//! | [`stats`] | `tm-stats` | distributions, quantiles, IQR, histograms |
+//! | [`openflow`] | `openflow` | OpenFlow messages and flow tables |
+//! | [`netsim`] | `netsim` | the discrete-event network simulator |
+//! | [`controller`] | `controller` | link discovery, host tracking, forwarding |
+//! | [`topoguard`] | `topoguard` | TopoGuard and TOPOGUARD+ |
+//! | [`sphinx`] | `sphinx` | the SPHINX surrogate |
+//! | [`ids`] | `tm-ids` | the Snort-style scan detector |
+//! | [`attacks`] | `attacks` | Port Amnesia, Port Probing, and friends |
+//! | [`scenarios`] | `tm-core` | testbeds, defense stacks, detection matrix |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use topomirage::scenarios::{DefenseStack, linkfab::{self, LinkFabScenario, RelayMode}};
+//!
+//! // Out-of-band Port Amnesia against TopoGuard: succeeds, undetected.
+//! let outcome = linkfab::run(&LinkFabScenario::new(
+//!     RelayMode::OutOfBand,
+//!     DefenseStack::TopoGuard,
+//!     42,
+//! ));
+//! assert!(outcome.succeeded_undetected());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use attacks;
+pub use controller;
+pub use netsim;
+pub use openflow;
+pub use sdn_types as types;
+pub use sphinx;
+pub use tm_core as scenarios;
+pub use tm_ids as ids;
+pub use tm_stats as stats;
+pub use topoguard;

@@ -1,0 +1,137 @@
+//! Workspace-level integration tests exercising the public facade:
+//! end-to-end determinism, failure injection, and cross-crate wiring.
+
+use topomirage::controller::{ControllerConfig, SdnController};
+use topomirage::netsim::apps::PeriodicPinger;
+use topomirage::netsim::{LinkProfile, NetworkSpec, Simulator};
+use topomirage::scenarios::hijack::{self, HijackScenario};
+use topomirage::scenarios::linkfab::{self, LinkFabScenario, RelayMode};
+use topomirage::scenarios::DefenseStack;
+use topomirage::types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo};
+
+#[test]
+fn scenario_outcomes_are_deterministic_per_seed() {
+    let run = || {
+        let out = hijack::run(&HijackScenario::new(DefenseStack::TopoGuardSphinx, 9));
+        (
+            out.timeline.iface_up_at,
+            out.controller_ack_at,
+            out.alerts_total,
+            out.client_pings_during_hijack,
+        )
+    };
+    assert_eq!(run(), run(), "same seed must reproduce the entire scenario");
+}
+
+#[test]
+fn different_seeds_vary_timing_but_not_outcome() {
+    let mut acks = Vec::new();
+    for seed in 0..5 {
+        let out = hijack::run(&HijackScenario {
+            victim_rejoins: false,
+            ..HijackScenario::new(DefenseStack::TopoGuard, 300 + seed)
+        });
+        assert!(out.hijack_succeeded(), "seed {seed}");
+        acks.push(out.controller_ack_delay_ms().unwrap());
+    }
+    let distinct: std::collections::BTreeSet<u64> = acks.iter().map(|a| a.to_bits()).collect();
+    assert!(distinct.len() > 1, "jitter should vary timings: {acks:?}");
+}
+
+/// Failure injection: flapping switch ports and lost LLDP rounds must not
+/// wedge the controller or the defenses — links recover after the flap.
+#[test]
+fn controller_recovers_from_port_flaps() {
+    let s1 = DatapathId::new(1);
+    let s2 = DatapathId::new(2);
+    let mut spec = NetworkSpec::new();
+    spec.add_switch(s1);
+    spec.add_switch(s2);
+    let link = LinkProfile::fixed(Duration::from_millis(5));
+    spec.link_switches(s1, PortNo::new(1), s2, PortNo::new(1), link);
+    spec.add_host(HostId::new(1), MacAddr::from_index(1), IpAddr::new(10, 0, 0, 1));
+    spec.attach_host(HostId::new(1), s1, PortNo::new(2), link);
+    // Full TOPOGUARD+ stack: the flaps must not produce fabrication alerts.
+    spec.set_controller(Box::new(
+        DefenseStack::TopoGuardPlus.build_controller(ControllerConfig {
+            profile: topomirage::controller::ControllerProfile::POX,
+            ..ControllerConfig::default()
+        }),
+    ));
+    let mut sim = Simulator::new(spec, 17);
+    sim.run_for(Duration::from_secs(6));
+    assert_eq!(
+        sim.controller_as::<SdnController>().unwrap().topology().len(),
+        2
+    );
+
+    // Flap the trunk three times (each flap hides at least one LLDP round).
+    for _ in 0..3 {
+        sim.set_switch_port_admin(s1, PortNo::new(1), false);
+        sim.run_for(Duration::from_secs(12));
+        sim.set_switch_port_admin(s1, PortNo::new(1), true);
+        sim.run_for(Duration::from_secs(12));
+    }
+    let ctrl: &SdnController = sim.controller_as().unwrap();
+    assert_eq!(ctrl.topology().len(), 2, "links must be re-discovered");
+    // A real port flap during quiet periods is not link fabrication.
+    assert_eq!(
+        ctrl.alerts().count(topomirage::controller::AlertKind::LinkFabrication),
+        0
+    );
+}
+
+/// Dropping every LLDP round for long enough expires links; traffic still
+/// flows on same-switch paths, and discovery resumes cleanly.
+#[test]
+fn link_expiry_under_lldp_loss_does_not_break_local_forwarding() {
+    let s1 = DatapathId::new(1);
+    let mut spec = NetworkSpec::new();
+    spec.add_switch(s1);
+    let link = LinkProfile::fixed(Duration::from_millis(2));
+    for i in 1..=2u32 {
+        spec.add_host(HostId::new(i), MacAddr::from_index(i), IpAddr::new(10, 0, 0, i as u8));
+        spec.attach_host(HostId::new(i), s1, PortNo::new(i as u16), link);
+    }
+    spec.set_host_app(
+        HostId::new(1),
+        Box::new(PeriodicPinger::new(IpAddr::new(10, 0, 0, 2), Duration::from_millis(100))),
+    );
+    spec.set_controller(Box::new(SdnController::new(ControllerConfig::default())));
+    let mut sim = Simulator::new(spec, 23);
+    sim.run_for(Duration::from_secs(5));
+    let pinger: &PeriodicPinger = sim.host_app_as(HostId::new(1)).unwrap();
+    assert!(pinger.received > 40, "local forwarding works: {}", pinger.received);
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The doc-comment quickstart, as a test.
+    let outcome = linkfab::run(&LinkFabScenario::new(
+        RelayMode::OutOfBand,
+        DefenseStack::TopoGuard,
+        42,
+    ));
+    assert!(outcome.succeeded_undetected());
+
+    // Statistics utilities reachable through the facade.
+    let timeout = topomirage::stats::normal_quantile(20.0, 5.0, 0.99);
+    assert!((timeout - 31.63).abs() < 0.1);
+}
+
+/// The attack window math of §IV-B2: hijack completion across many seeds
+/// stays far inside a seconds-scale migration window.
+#[test]
+fn hijack_fits_live_migration_windows() {
+    for seed in 0..8 {
+        let out = hijack::run(&HijackScenario {
+            victim_rejoins: false,
+            ..HijackScenario::new(DefenseStack::TopoGuardSphinx, 900 + seed)
+        });
+        let ack = out.controller_ack_delay_ms().expect("hijack landed");
+        assert!(
+            ack < 1000.0,
+            "seed {seed}: {ack} ms must fit a ~3000 ms migration window"
+        );
+    }
+}
