@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Hermetic verification: everything here must pass on a machine with no
+# network access and an empty cargo registry — the workspace has zero
+# external dependencies by policy (see DESIGN.md).
+set -eux
+
+cargo fmt --check
+cargo build --release --offline
+cargo test -q --offline
+cargo bench --no-run --offline

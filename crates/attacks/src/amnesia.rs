@@ -232,7 +232,7 @@ impl HostApp for OobRelayAttacker {
             // everything else transits it — unless this is a greedy MITM
             // configured to drop a fraction of it.
             if self.config.drop_fraction > 0.0
-                && rand::Rng::gen_bool(ctx.rng(), self.config.drop_fraction)
+                && tm_rand::Rng::gen_bool(ctx.rng(), self.config.drop_fraction)
             {
                 self.stats.dropped += 1;
                 return FrameDisposition::Consume;

@@ -65,7 +65,11 @@ impl HostApp for AlertFloodAttacker {
         // originating from our port. No Port-Down preceded it, so
         // TopoGuard's migration pre-condition fires — one alert per frame.
         let arp = ArpPacket::request(mac, ip, IpAddr::new(10, 0, 0, 254));
-        ctx.send_frame(EthernetFrame::new(mac, MacAddr::BROADCAST, Payload::Arp(arp)));
+        ctx.send_frame(EthernetFrame::new(
+            mac,
+            MacAddr::BROADCAST,
+            Payload::Arp(arp),
+        ));
         self.spoofs_sent += 1;
         ctx.set_timer(self.config.interval, TIMER_NEXT);
     }

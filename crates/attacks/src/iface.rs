@@ -11,7 +11,7 @@
 //!   identifiers without triggering a Port-Down, and conversely must *hold*
 //!   the interface down ≥ 16 ms when it wants one.
 
-use rand::Rng;
+use tm_rand::Rng;
 
 use sdn_types::Duration;
 use tm_stats::{Distribution, LogNormal};
@@ -57,8 +57,7 @@ impl IdentChangeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tm_rand::StdRng;
     use tm_stats::Summary;
 
     #[test]
@@ -69,7 +68,11 @@ mod tests {
             .map(|_| model.sample_ident_change(&mut rng).as_millis_f64())
             .collect();
         let s = Summary::of(&samples);
-        assert!((s.mean - 9.94).abs() < 0.6, "mean {} vs paper 9.94 ms", s.mean);
+        assert!(
+            (s.mean - 9.94).abs() < 0.6,
+            "mean {} vs paper 9.94 ms",
+            s.mean
+        );
         assert!(s.max > 80.0, "heavy tail expected, max {}", s.max);
         assert!(s.max < 400.0, "tail should not be absurd, max {}", s.max);
         assert!(samples.iter().all(|&x| x > 0.0));
@@ -83,7 +86,11 @@ mod tests {
             .map(|_| model.sample_bare_cycle(&mut rng).as_millis_f64())
             .collect();
         let s = Summary::of(&samples);
-        assert!((s.mean - 3.25).abs() < 0.2, "mean {} vs paper 3.25 ms", s.mean);
+        assert!(
+            (s.mean - 3.25).abs() < 0.2,
+            "mean {} vs paper 3.25 ms",
+            s.mean
+        );
         // §V-A: typical cycles complete well inside the 8 ms minimum pulse
         // window, so they do not trigger Port-Down.
         let under_8ms = samples.iter().filter(|&&x| x < 8.0).count();

@@ -27,14 +27,14 @@
 
 pub mod amnesia;
 pub mod flood;
-pub mod iface;
 pub mod idle;
+pub mod iface;
 pub mod probe;
 pub mod probing;
 
 pub use amnesia::{InBandRelayAttacker, OobRelayAttacker, RelayConfig, RelayStats};
 pub use flood::{AlertFloodAttacker, FloodConfig};
-pub use iface::IdentChangeModel;
 pub use idle::{IdleScanProber, IdleScanResult};
+pub use iface::IdentChangeModel;
 pub use probe::{derive_probe_timeout, ProbeKind, ProbeTiming};
 pub use probing::{PortProbingAttacker, ProbingConfig, ProbingPhase, ProbingTimeline};

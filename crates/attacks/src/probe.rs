@@ -16,9 +16,11 @@
 //! normal distribution calibrated to the reported mean ± sd; the protocol
 //! *mechanics* (which packets are exchanged) are simulated for real.
 
-use rand::Rng;
+use tm_rand::Rng;
 
-use sdn_types::packet::{ArpPacket, EthernetFrame, IcmpPacket, Ipv4Packet, Payload, TcpSegment, Transport};
+use sdn_types::packet::{
+    ArpPacket, EthernetFrame, IcmpPacket, Ipv4Packet, Payload, TcpSegment, Transport,
+};
 use sdn_types::{Duration, IpAddr, MacAddr};
 use tm_stats::{normal_quantile, Distribution, Normal};
 
@@ -171,19 +173,26 @@ impl ProbeKind {
 ///
 /// With the paper's parameters (`20 ms`, `5 ms`, 1 % FP) this returns
 /// ≈ 31.6 ms, which the authors round up to their 35 ms timeout.
-pub fn derive_probe_timeout(rtt_mean_ms: f64, rtt_sd_ms: f64, false_positive_rate: f64) -> Duration {
+pub fn derive_probe_timeout(
+    rtt_mean_ms: f64,
+    rtt_sd_ms: f64,
+    false_positive_rate: f64,
+) -> Duration {
     assert!(
         false_positive_rate > 0.0 && false_positive_rate < 1.0,
         "false-positive rate must be in (0, 1)"
     );
-    Duration::from_millis_f64(normal_quantile(rtt_mean_ms, rtt_sd_ms, 1.0 - false_positive_rate))
+    Duration::from_millis_f64(normal_quantile(
+        rtt_mean_ms,
+        rtt_sd_ms,
+        1.0 - false_positive_rate,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tm_rand::StdRng;
     use tm_stats::Summary;
 
     const AMAC: MacAddr = MacAddr::new([0xA; 6]);
@@ -198,7 +207,13 @@ mod tests {
             (ProbeKind::IcmpPing, 0.91),
             (ProbeKind::TcpSyn { port: 80 }, 492.3),
             (ProbeKind::ArpPing, 133.5),
-            (ProbeKind::IdleScan { zombie: AIP, port: 80 }, 1.8),
+            (
+                ProbeKind::IdleScan {
+                    zombie: AIP,
+                    port: 80,
+                },
+                1.8,
+            ),
         ] {
             let samples: Vec<f64> = (0..1000)
                 .map(|_| kind.sample_overhead(&mut rng).as_millis_f64())
@@ -225,7 +240,10 @@ mod tests {
                 / 200.0
         };
         let icmp = mean(ProbeKind::IcmpPing);
-        let idle = mean(ProbeKind::IdleScan { zombie: AIP, port: 80 });
+        let idle = mean(ProbeKind::IdleScan {
+            zombie: AIP,
+            port: 80,
+        });
         let arp = mean(ProbeKind::ArpPing);
         let syn = mean(ProbeKind::TcpSyn { port: 80 });
         assert!(icmp < idle && idle < arp && arp < syn);
@@ -237,11 +255,7 @@ mod tests {
         let probe = kind.build_probe(AMAC, AIP, VMAC, VIP, 1).unwrap();
         assert!(probe.dst.is_broadcast());
         let req = probe.arp().unwrap();
-        let reply = EthernetFrame::new(
-            VMAC,
-            AMAC,
-            Payload::Arp(ArpPacket::reply_to(req, VMAC)),
-        );
+        let reply = EthernetFrame::new(VMAC, AMAC, Payload::Arp(ArpPacket::reply_to(req, VMAC)));
         assert!(kind.is_reply(&reply, VIP));
         assert!(!kind.is_reply(&probe, VIP));
     }
@@ -276,10 +290,18 @@ mod tests {
     fn stealth_ordering() {
         use tm_ids::Stealth;
         assert_eq!(ProbeKind::IcmpPing.timing().stealth, Stealth::Low);
-        assert_eq!(ProbeKind::TcpSyn { port: 1 }.timing().stealth, Stealth::Medium);
+        assert_eq!(
+            ProbeKind::TcpSyn { port: 1 }.timing().stealth,
+            Stealth::Medium
+        );
         assert_eq!(ProbeKind::ArpPing.timing().stealth, Stealth::High);
         assert_eq!(
-            ProbeKind::IdleScan { zombie: AIP, port: 1 }.timing().stealth,
+            ProbeKind::IdleScan {
+                zombie: AIP,
+                port: 1
+            }
+            .timing()
+            .stealth,
             Stealth::VeryHigh
         );
     }

@@ -157,7 +157,10 @@ impl PortProbingAttacker {
             if ctx.send_frame(frame) {
                 self.timeline.probes_sent += 1;
                 self.sent_at.insert(seq, ctx.now());
-                ctx.set_timer(self.config.probe_timeout, TIMER_TIMEOUT_BASE + u64::from(seq));
+                ctx.set_timer(
+                    self.config.probe_timeout,
+                    TIMER_TIMEOUT_BASE + u64::from(seq),
+                );
             }
         }
     }

@@ -1,16 +1,15 @@
 //! Defense-datapath microbenchmarks: the per-event costs of the TopoGuard
 //! profiler, the LLI's IQR store, and SPHINX's flow-graph updates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::harness::{black_box, Bench};
 
 use sdn_types::{DatapathId, PortNo, SimTime, SwitchPort};
 use tm_stats::IqrOutlierDetector;
 use topoguard::profiler::PortProfiler;
 
-fn bench_profiler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("topoguard_profiler");
-    group.bench_function("traffic_update", |b| {
+fn main() {
+    let group = Bench::new("topoguard_profiler");
+    {
         let mut profiler = PortProfiler::new();
         // Pre-populate 256 ports.
         for p in 0..256u16 {
@@ -20,33 +19,28 @@ fn bench_profiler(c: &mut Criterion) {
             );
         }
         let port = SwitchPort::new(DatapathId::new(3), PortNo::new(77));
-        b.iter(|| profiler.saw_host_traffic(black_box(port), SimTime::from_millis(1)))
-    });
-    group.bench_function("amnesia_reset_cycle", |b| {
+        group.bench("traffic_update", || {
+            profiler.saw_host_traffic(black_box(port), SimTime::from_millis(1))
+        });
+    }
+    {
         let mut profiler = PortProfiler::new();
         let port = SwitchPort::new(DatapathId::new(1), PortNo::new(1));
-        b.iter(|| {
+        group.bench("amnesia_reset_cycle", || {
             profiler.saw_host_traffic(port, SimTime::ZERO);
             profiler.port_down(port, SimTime::from_millis(1));
             profiler.saw_lldp(port, SimTime::from_millis(2));
-        })
-    });
-    group.finish();
-}
-
-fn bench_iqr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lli_iqr");
-    for window in [20usize, 100, 500] {
-        group.bench_function(format!("inspect_window_{window}"), |b| {
-            let mut det = IqrOutlierDetector::new(window, 10, 3.0);
-            for i in 0..window {
-                det.inspect(5.0 + (i % 7) as f64 * 0.05);
-            }
-            b.iter(|| det.inspect(black_box(5.2)))
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_profiler, bench_iqr);
-criterion_main!(benches);
+    let group = Bench::new("lli_iqr");
+    for window in [20usize, 100, 500] {
+        let mut det = IqrOutlierDetector::new(window, 10, 3.0);
+        for i in 0..window {
+            det.inspect(5.0 + (i % 7) as f64 * 0.05);
+        }
+        group.bench(&format!("inspect_window_{window}"), || {
+            det.inspect(black_box(5.2))
+        });
+    }
+}

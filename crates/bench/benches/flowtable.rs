@@ -1,7 +1,6 @@
 //! Flow-table benchmarks: match/insert/expire at realistic table sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use bench::harness::{black_box, Bench};
 
 use openflow::{Action, FlowEntry, FlowMatch, FlowTable, MatchOutcome};
 use sdn_types::packet::{EthernetFrame, Payload};
@@ -33,47 +32,34 @@ fn frame(src: u32, dst: u32) -> EthernetFrame {
     )
 }
 
-fn bench_match(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flowtable_match");
+fn main() {
+    let group = Bench::new("flowtable_match");
     for n in [10u32, 100, 1000] {
         // Hit in the middle of the table.
         let hit = frame(n / 2, n / 2 + 1);
         let miss = frame(n + 10, n + 11);
-        group.bench_with_input(BenchmarkId::new("hit", n), &n, |b, &n| {
-            let mut table = table_with(n);
-            b.iter(|| {
-                matches!(
-                    table.process(black_box(&hit), PortNo::new(1), SimTime::ZERO),
-                    MatchOutcome::Forward { .. }
-                )
-            })
+        let mut table = table_with(n);
+        group.bench(&format!("hit/{n}"), || {
+            matches!(
+                table.process(black_box(&hit), PortNo::new(1), SimTime::ZERO),
+                MatchOutcome::Forward { .. }
+            )
         });
-        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, &n| {
-            let mut table = table_with(n);
-            b.iter(|| {
-                matches!(
-                    table.process(black_box(&miss), PortNo::new(1), SimTime::ZERO),
-                    MatchOutcome::Miss
-                )
-            })
+        let mut table = table_with(n);
+        group.bench(&format!("miss/{n}"), || {
+            matches!(
+                table.process(black_box(&miss), PortNo::new(1), SimTime::ZERO),
+                MatchOutcome::Miss
+            )
         });
     }
-    group.finish();
-}
 
-fn bench_insert_and_expire(c: &mut Criterion) {
-    c.bench_function("flowtable_insert_1000", |b| {
-        b.iter(|| black_box(table_with(1000)).len())
-    });
-    c.bench_function("flowtable_expire_scan_1000", |b| {
-        let table = table_with(1000);
-        b.iter_batched(
-            || table.clone(),
-            |mut t| t.expire(SimTime::from_secs(1)).len(),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    let group = Bench::new("flowtable");
+    group.bench("insert_1000", || black_box(table_with(1000)).len());
+    let table = table_with(1000);
+    group.bench_with_setup(
+        "expire_scan_1000",
+        || table.clone(),
+        |mut t| t.expire(SimTime::from_secs(1)).len(),
+    );
 }
-
-criterion_group!(benches, bench_match, bench_insert_and_expire);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! Microbenchmarks for packet encode/parse — the per-frame cost floor of
 //! the whole simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::harness::{black_box, Bench};
 
 use sdn_types::packet::{
     ArpPacket, EthernetFrame, IcmpPacket, Ipv4Packet, LldpPacket, Payload, TcpSegment, Transport,
@@ -60,24 +59,17 @@ fn frames() -> Vec<(&'static str, EthernetFrame)> {
     ]
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode");
+fn main() {
+    let encode = Bench::new("encode");
     for (name, frame) in frames() {
-        group.bench_function(name, |b| b.iter(|| black_box(&frame).encode()));
+        encode.bench(name, || black_box(&frame).encode());
     }
-    group.finish();
-}
 
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parse");
+    let parse = Bench::new("parse");
     for (name, frame) in frames() {
         let wire = frame.encode();
-        group.bench_function(name, |b| {
-            b.iter(|| EthernetFrame::parse(black_box(&wire)).expect("parses"))
+        parse.bench(name, || {
+            EthernetFrame::parse(black_box(&wire)).expect("parses")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_encode, bench_parse);
-criterion_main!(benches);

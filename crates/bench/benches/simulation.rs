@@ -2,7 +2,7 @@
 //! second costs with the full controller + defense stack running, and the
 //! cost of a complete hijack scenario.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Bench;
 
 use controller::ControllerConfig;
 use netsim::apps::PeriodicPinger;
@@ -36,47 +36,39 @@ fn busy_network(stack: DefenseStack) -> Simulator {
             link,
         );
         let peer = IpAddr::new(10, 0, 0, (h % 8 + 1) as u8);
-        spec.set_host_app(host, Box::new(PeriodicPinger::new(peer, Duration::from_millis(50))));
+        spec.set_host_app(
+            host,
+            Box::new(PeriodicPinger::new(peer, Duration::from_millis(50))),
+        );
     }
-    spec.set_controller(Box::new(stack.build_controller(ControllerConfig::default())));
+    spec.set_controller(Box::new(
+        stack.build_controller(ControllerConfig::default()),
+    ));
     Simulator::new(spec, 7)
 }
 
-fn bench_simulated_second(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated_second_8_hosts_4_switches");
-    group.sample_size(10);
+fn main() {
+    let group = Bench::new("simulated_second_8_hosts_4_switches").samples(10);
     for stack in [DefenseStack::None, DefenseStack::TopoGuardPlus] {
-        group.bench_function(format!("{stack}"), |b| {
-            b.iter_batched(
-                || busy_network(stack),
-                |mut sim| {
-                    sim.run_for(Duration::from_secs(1));
-                    sim.now()
-                },
-                criterion::BatchSize::PerIteration,
-            )
-        });
+        group.bench_with_setup(
+            &format!("{stack}"),
+            || busy_network(stack),
+            |mut sim| {
+                sim.run_for(Duration::from_secs(1));
+                sim.now()
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_full_hijack_scenario(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scenario");
-    group.sample_size(10);
-    group.bench_function("hijack_end_to_end", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            hijack::run(&HijackScenario {
-                victim_rejoins: false,
-                tail: Duration::from_millis(100),
-                ..HijackScenario::new(DefenseStack::TopoGuardSphinx, seed)
-            })
-            .hijack_succeeded()
+    let group = Bench::new("scenario").samples(10);
+    let mut seed = 0;
+    group.bench("hijack_end_to_end", || {
+        seed += 1;
+        hijack::run(&HijackScenario {
+            victim_rejoins: false,
+            tail: Duration::from_millis(100),
+            ..HijackScenario::new(DefenseStack::TopoGuardSphinx, seed)
         })
+        .hijack_succeeded()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulated_second, bench_full_hijack_scenario);
-criterion_main!(benches);

@@ -20,9 +20,8 @@ use topoguard::{Cmm, CmmConfig, Lli, LliConfig, TopoGuard, TopoGuardConfig};
 /// and a stealthy OOB attack, for several `k` values; report false flags on
 /// real links and detections of the fake link.
 pub fn lli_fence_sweep(seed: u64) -> String {
-    let mut out = String::from(
-        "ABLATION: LLI outlier fence (threshold = Q3 + k*IQR; paper uses k = 3)\n\n",
-    );
+    let mut out =
+        String::from("ABLATION: LLI outlier fence (threshold = Q3 + k*IQR; paper uses k = 3)\n\n");
     out.push_str(&format!(
         "{:>6} {:>22} {:>22}\n",
         "k", "benign false flags", "fake-link detections"
@@ -39,12 +38,15 @@ pub fn lli_fence_sweep(seed: u64) -> String {
 }
 
 fn run_lli(seed: u64, k: f64, with_attack: bool) -> u64 {
-    let (mut spec, ids) = testbed::fig9_spec(DefenseStack::None, ControllerConfig {
-        sign_lldp: true,
-        timestamp_lldp: true,
-        echo_interval: Some(Duration::from_secs(1)),
-        ..ControllerConfig::default()
-    });
+    let (mut spec, ids) = testbed::fig9_spec(
+        DefenseStack::None,
+        ControllerConfig {
+            sign_lldp: true,
+            timestamp_lldp: true,
+            echo_interval: Some(Duration::from_secs(1)),
+            ..ControllerConfig::default()
+        },
+    );
     // Hand-built stack so we control the LLI's k.
     let controller = SdnController::new(ControllerConfig {
         sign_lldp: true,
@@ -64,8 +66,14 @@ fn run_lli(seed: u64, k: f64, with_attack: bool) -> u64 {
             start_after: Duration::from_secs(60),
             ..RelayConfig::oob_stealthy(peer)
         };
-        spec.set_host_app(ids.attacker_a, Box::new(OobRelayAttacker::new(mk(ids.attacker_b))));
-        spec.set_host_app(ids.attacker_b, Box::new(OobRelayAttacker::new(mk(ids.attacker_a))));
+        spec.set_host_app(
+            ids.attacker_a,
+            Box::new(OobRelayAttacker::new(mk(ids.attacker_b))),
+        );
+        spec.set_host_app(
+            ids.attacker_b,
+            Box::new(OobRelayAttacker::new(mk(ids.attacker_a))),
+        );
     }
     let mut sim = Simulator::new(spec, seed);
     sim.run_for(Duration::from_secs(180));
@@ -114,8 +122,14 @@ fn run_amnesia_hold(seed: u64, hold_ms: u64) -> (bool, usize) {
         hold_down: Duration::from_millis(hold_ms),
         ..RelayConfig::oob(peer)
     };
-    spec.set_host_app(ids.attacker_a, Box::new(OobRelayAttacker::new(mk(ids.attacker_b))));
-    spec.set_host_app(ids.attacker_b, Box::new(OobRelayAttacker::new(mk(ids.attacker_a))));
+    spec.set_host_app(
+        ids.attacker_a,
+        Box::new(OobRelayAttacker::new(mk(ids.attacker_b))),
+    );
+    spec.set_host_app(
+        ids.attacker_b,
+        Box::new(OobRelayAttacker::new(mk(ids.attacker_a))),
+    );
     let mut sim = Simulator::new(spec, seed);
     sim.run_for(Duration::from_secs(40));
     let ctrl: &SdnController = sim.controller_as().expect("controller");
@@ -149,8 +163,7 @@ pub fn probe_timeout_sweep(base_seed: u64) -> String {
         let mut false_starts = 0;
         let mut reactions = Vec::new();
         for i in 0..trials {
-            let (mut spec, ids) =
-                hijack_spec(DefenseStack::None, ControllerConfig::default());
+            let (mut spec, ids) = hijack_spec(DefenseStack::None, ControllerConfig::default());
             let config = ProbingConfig {
                 probe_timeout: Duration::from_millis(timeout_ms),
                 ..ProbingConfig::paper_default(ids.victim_ip, ids.client_ip)
@@ -158,7 +171,10 @@ pub fn probe_timeout_sweep(base_seed: u64) -> String {
             spec.set_host_app(ids.attacker, Box::new(PortProbingAttacker::new(config)));
             spec.set_host_app(
                 ids.client,
-                Box::new(PeriodicPinger::new(ids.victim_ip, Duration::from_millis(250))),
+                Box::new(PeriodicPinger::new(
+                    ids.victim_ip,
+                    Duration::from_millis(250),
+                )),
             );
             let mut sim = Simulator::new(spec, base_seed + u64::from(timeout_ms) * 1000 + i);
             sim.host_iface_down(ids.victim_new);

@@ -6,14 +6,32 @@
 //! cargo run --release -p bench --bin experiments -- fig5 --trials 500
 //! ```
 
+use bench::json::JsonValue;
 use bench::{ablation, figures, sweeps, tables};
 use tm_core::matrix;
 
 const SEED: u64 = 0xD5_2018;
 
+fn matrix_to_json(entries: &[tm_core::MatrixEntry]) -> JsonValue {
+    JsonValue::Array(
+        entries
+            .iter()
+            .map(|e| {
+                JsonValue::object(vec![
+                    ("attack", e.attack.into()),
+                    ("defense", e.defense.as_str().into()),
+                    ("succeeded", e.succeeded.into()),
+                    ("detected", e.detected.into()),
+                    ("alerts", e.alerts.into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn write_json(path: &Option<String>, entries: &[tm_core::MatrixEntry]) {
     if let Some(path) = path {
-        let json = serde_json::to_string_pretty(entries).expect("matrix serializes");
+        let json = matrix_to_json(entries).to_pretty();
         std::fs::write(path, json).expect("write json");
         eprintln!("wrote {path}");
     }

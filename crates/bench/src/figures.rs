@@ -4,13 +4,12 @@
 use attacks::IdentChangeModel;
 use controller::{AlertKind, ControllerConfig, SdnController};
 use netsim::Simulator;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sdn_types::Duration;
 use tm_core::hijack::{self, HijackScenario};
 use tm_core::linkfab::{self, LinkFabScenario, RelayMode};
 use tm_core::testbed;
 use tm_core::DefenseStack;
+use tm_rand::StdRng;
 use tm_stats::Histogram;
 use topoguard::Lli;
 
@@ -51,7 +50,11 @@ pub struct HijackDistributions {
 
 /// Runs `trials` hijack scenarios (distinct seeds) and collects the timing
 /// distributions behind Figs. 5–8.
-pub fn run_hijack_trials(base_seed: u64, trials: usize, stack: DefenseStack) -> HijackDistributions {
+pub fn run_hijack_trials(
+    base_seed: u64,
+    trials: usize,
+    stack: DefenseStack,
+) -> HijackDistributions {
     let mut d = HijackDistributions {
         final_probe_start: Vec::new(),
         believed_down: Vec::new(),
@@ -181,13 +184,20 @@ pub fn fig11(seed: u64) -> String {
     // extract the LLI series: run a stealthy OOB attack on Fig. 9.
     use attacks::{OobRelayAttacker, RelayConfig};
 
-    let (mut spec, ids) = testbed::fig9_spec(DefenseStack::TopoGuardPlus, ControllerConfig::default());
+    let (mut spec, ids) =
+        testbed::fig9_spec(DefenseStack::TopoGuardPlus, ControllerConfig::default());
     let mk = |peer| RelayConfig {
         start_after: Duration::from_secs(60),
         ..RelayConfig::oob_stealthy(peer)
     };
-    spec.set_host_app(ids.attacker_a, Box::new(OobRelayAttacker::new(mk(ids.attacker_b))));
-    spec.set_host_app(ids.attacker_b, Box::new(OobRelayAttacker::new(mk(ids.attacker_a))));
+    spec.set_host_app(
+        ids.attacker_a,
+        Box::new(OobRelayAttacker::new(mk(ids.attacker_b))),
+    );
+    spec.set_host_app(
+        ids.attacker_b,
+        Box::new(OobRelayAttacker::new(mk(ids.attacker_a))),
+    );
     let mut sim = Simulator::new(spec, seed);
     sim.run_for(Duration::from_secs(300));
 
@@ -228,7 +238,11 @@ pub fn fig11(seed: u64) -> String {
                 .contains(&controller::DirectedLink::new(ids.port_b, ids.port_a)),
     ));
     out.push_str("\nFIG 13: alerts raised for the anomalous link latency:\n");
-    for alert in ctrl.alerts().of_kind(AlertKind::AbnormalLinkLatency).take(4) {
+    for alert in ctrl
+        .alerts()
+        .of_kind(AlertKind::AbnormalLinkLatency)
+        .take(4)
+    {
         out.push_str(&format!("  {alert}\n"));
     }
     out
@@ -242,9 +256,8 @@ pub fn fig12(seed: u64) -> String {
         DefenseStack::TopoGuardPlus,
         seed,
     ));
-    let mut out = String::from(
-        "FIG 12: CMM detections of in-band Port Amnesia (context switching)\n\n",
-    );
+    let mut out =
+        String::from("FIG 12: CMM detections of in-band Port Amnesia (context switching)\n\n");
     out.push_str(&format!(
         "  amnesia cycles performed: {}\n  CMM alerts raised:        {}\n  link established:         {}\n",
         outcome.stats_a.amnesia_cycles + outcome.stats_b.amnesia_cycles,
@@ -259,7 +272,8 @@ pub fn fig12(seed: u64) -> String {
 /// excerpt itself).
 pub fn fig12_alerts(seed: u64) -> Vec<String> {
     use attacks::{InBandRelayAttacker, RelayConfig};
-    let (mut spec, ids) = testbed::fig9_spec(DefenseStack::TopoGuardPlus, ControllerConfig::default());
+    let (mut spec, ids) =
+        testbed::fig9_spec(DefenseStack::TopoGuardPlus, ControllerConfig::default());
     let cfg_a = RelayConfig {
         start_after: Duration::from_secs(60),
         ..RelayConfig::in_band(ids.attacker_b, ids.attacker_b_mac, ids.attacker_b_ip)

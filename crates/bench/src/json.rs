@@ -1,0 +1,228 @@
+//! A tiny JSON writer (the workspace's replacement for `serde_json`).
+//!
+//! The experiment driver only ever *emits* JSON — detection-matrix dumps
+//! and benchmark records — so a write-only value tree with a pretty
+//! printer covers everything. No parsing, no derive, no reflection.
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by hand at the emission site.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Integers are kept exact rather than routed through f64.
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    /// Insertion-ordered, matching the order fields are pushed.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders with two-space indentation and a trailing newline, the
+    /// same shape `serde_json::to_string_pretty` produced.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    /// Renders without any whitespace (one record per line for logs).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            _ => self.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    // JSON has no NaN/Inf; null is the conventional stand-in.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Int(n)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Int(n as i64)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Int(n as i64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Float(x)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = JsonValue::object(vec![
+            ("name", "a\"b".into()),
+            ("n", 3usize.into()),
+            ("ok", true.into()),
+            ("xs", JsonValue::Array(vec![1i64.into(), 2i64.into()])),
+        ]);
+        assert_eq!(
+            v.to_compact(),
+            r#"{"name":"a\"b","n":3,"ok":true,"xs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents_nested_structures() {
+        let v = JsonValue::Array(vec![JsonValue::object(vec![("k", 1i64.into())])]);
+        assert_eq!(v.to_pretty(), "[\n  {\n    \"k\": 1\n  }\n]");
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        assert_eq!(JsonValue::Array(vec![]).to_pretty(), "[]");
+        assert_eq!(JsonValue::Object(vec![]).to_pretty(), "{}");
+    }
+
+    #[test]
+    fn control_characters_and_non_finite_floats() {
+        let v = JsonValue::object(vec![("s", "\u{1}\t".into()), ("f", f64::NAN.into())]);
+        assert_eq!(v.to_compact(), r#"{"s":"\u0001\t","f":null}"#);
+    }
+}

@@ -11,5 +11,7 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod harness;
+pub mod json;
 pub mod sweeps;
 pub mod tables;

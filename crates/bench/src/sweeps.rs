@@ -14,9 +14,7 @@ const VICTIM: IpAddr = IpAddr::new(10, 0, 0, 1);
 /// and ARP liveness probing? (Paper: SYN scans above 2/s detected; ARP
 /// probing never detected, even at the chosen 1-probe-per-50-ms rate.)
 pub fn scan_detection() -> String {
-    let mut out = String::from(
-        "SCAN DETECTION (Snort-style rules, 30 s of probing per rate)\n\n",
-    );
+    let mut out = String::from("SCAN DETECTION (Snort-style rules, 30 s of probing per rate)\n\n");
     out.push_str(&format!(
         "{:>12} {:>14} {:>14}\n",
         "rate (/s)", "TCP SYN", "ARP ping"
@@ -129,7 +127,10 @@ mod tests {
     #[test]
     fn syn_detection_threshold_is_2_per_sec() {
         assert!(!run_rate(1, true));
-        assert!(!run_rate(2, true), "exactly 2/s is not *above* the threshold");
+        assert!(
+            !run_rate(2, true),
+            "exactly 2/s is not *above* the threshold"
+        );
         assert!(run_rate(3, true));
         assert!(run_rate(20, true));
     }
@@ -137,7 +138,10 @@ mod tests {
     #[test]
     fn arp_probing_undetected_at_all_rates() {
         for rate in [1, 5, 20, 50] {
-            assert!(!run_rate(rate, false), "ARP at {rate}/s must stay undetected");
+            assert!(
+                !run_rate(rate, false),
+                "ARP at {rate}/s must stay undetected"
+            );
         }
     }
 

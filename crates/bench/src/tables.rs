@@ -5,11 +5,10 @@ use std::time::Instant;
 use attacks::ProbeKind;
 use controller::{ControllerConfig, ControllerProfile, SdnController};
 use netsim::{LinkProfile, NetworkSpec, Simulator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sdn_types::crypto::Key;
 use sdn_types::packet::{EthernetFrame, LldpPacket, Payload};
 use sdn_types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo, SimTime};
+use tm_rand::StdRng;
 use tm_stats::Summary;
 
 /// Table I: liveness probe timing and stealth. 1000 scans per technique;
@@ -25,9 +24,8 @@ pub fn table1(seed: u64) -> String {
             port: 80,
         },
     ];
-    let mut out = String::from(
-        "TABLE I: Liveness Probe Options (1000 scans per type, RTT excluded)\n\n",
-    );
+    let mut out =
+        String::from("TABLE I: Liveness Probe Options (1000 scans per type, RTT excluded)\n\n");
     out.push_str(&format!(
         "{:<15} {:<10} {:<16} {:<18} {}\n",
         "Type", "Stealth", "Requirements", "Timing (ms)", "paper"
@@ -67,30 +65,46 @@ pub fn table2() -> String {
     // Construction: plain vs signed + timestamped.
     let plain_construct = time_per_iter(N, || {
         let lldp = LldpPacket::new(dpid, port);
-        EthernetFrame::new(MacAddr::from_index(1), MacAddr::LLDP_MULTICAST, Payload::Lldp(lldp))
-            .encode()
+        EthernetFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::LLDP_MULTICAST,
+            Payload::Lldp(lldp),
+        )
+        .encode()
     });
     let tgp_construct = time_per_iter(N, || {
         let lldp = LldpPacket::new(dpid, port)
             .with_timestamp(key, SimTime::from_millis(123))
             .signed(key);
-        EthernetFrame::new(MacAddr::from_index(1), MacAddr::LLDP_MULTICAST, Payload::Lldp(lldp))
-            .encode()
+        EthernetFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::LLDP_MULTICAST,
+            Payload::Lldp(lldp),
+        )
+        .encode()
     });
 
     // Processing: parse only vs parse + verify + open timestamp + IQR
     // inspection.
     let wire_plain = {
         let lldp = LldpPacket::new(dpid, port);
-        EthernetFrame::new(MacAddr::from_index(1), MacAddr::LLDP_MULTICAST, Payload::Lldp(lldp))
-            .encode()
+        EthernetFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::LLDP_MULTICAST,
+            Payload::Lldp(lldp),
+        )
+        .encode()
     };
     let wire_tgp = {
         let lldp = LldpPacket::new(dpid, port)
             .with_timestamp(key, SimTime::from_millis(123))
             .signed(key);
-        EthernetFrame::new(MacAddr::from_index(1), MacAddr::LLDP_MULTICAST, Payload::Lldp(lldp))
-            .encode()
+        EthernetFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::LLDP_MULTICAST,
+            Payload::Lldp(lldp),
+        )
+        .encode()
     };
     let plain_process = time_per_iter(N, || {
         let frame = EthernetFrame::parse(&wire_plain).expect("parses");
@@ -182,7 +196,11 @@ fn measure_profile(profile: ControllerProfile, seed: u64) -> (f64, f64) {
         PortNo::new(1),
         LinkProfile::fixed(Duration::from_millis(5)),
     );
-    spec.add_host(HostId::new(1), MacAddr::from_index(1), IpAddr::new(10, 0, 0, 1));
+    spec.add_host(
+        HostId::new(1),
+        MacAddr::from_index(1),
+        IpAddr::new(10, 0, 0, 1),
+    );
     spec.attach_host(
         HostId::new(1),
         s1,

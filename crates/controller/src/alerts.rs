@@ -7,12 +7,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::SimTime;
 
 /// The category of a defense alert.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AlertKind {
     /// TopoGuard: host migration pre-condition violated (no Port-Down
     /// before the move).
@@ -56,7 +54,7 @@ impl fmt::Display for AlertKind {
 }
 
 /// One alert raised by a defense module.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Alert {
     /// When the alert was raised (controller clock).
     pub at: SimTime,

@@ -14,7 +14,9 @@ use crate::alerts::AlertSink;
 use crate::devices::{DeviceTable, Observation};
 use crate::forwarding;
 use crate::latency::CtrlLatencyTracker;
-use crate::module::{Command, DefenseModule, LinkLatencySample, LldpReceive, ModuleCtx, PacketInCtx};
+use crate::module::{
+    Command, DefenseModule, LinkLatencySample, LldpReceive, ModuleCtx, PacketInCtx,
+};
 use crate::profile::ControllerProfile;
 use crate::topology::{DirectedLink, Topology};
 
@@ -219,7 +221,8 @@ impl SdnController {
             if self.config.sign_lldp {
                 lldp = lldp.signed(self.config.lldp_key);
             }
-            let frame = EthernetFrame::new(port.hw_addr, MacAddr::LLDP_MULTICAST, Payload::Lldp(lldp));
+            let frame =
+                EthernetFrame::new(port.hw_addr, MacAddr::LLDP_MULTICAST, Payload::Lldp(lldp));
             self.module_pass(ctx, |m, cx| {
                 m.on_lldp_emit(cx, dpid, port.port_no);
                 Command::Continue
@@ -236,9 +239,7 @@ impl SdnController {
         }
 
         // Link expiry shares the discovery cadence.
-        let expired = self
-            .topology
-            .expire(now, self.config.profile.link_timeout);
+        let expired = self.topology.expire(now, self.config.profile.link_timeout);
         for link in expired {
             self.module_pass(ctx, |m, cx| {
                 m.on_link_removed(cx, link);

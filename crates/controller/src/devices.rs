@@ -8,12 +8,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::{IpAddr, MacAddr, SimTime, SwitchPort};
 
 /// One tracked end host.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Device {
     /// The host's MAC address (the primary key).
     pub mac: MacAddr,
@@ -30,7 +28,7 @@ pub struct Device {
 }
 
 /// A registered (or attempted) host migration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HostMove {
     /// The migrating MAC.
     pub mac: MacAddr,
@@ -92,13 +90,7 @@ impl DeviceTable {
     }
 
     /// Commits an observation: learns, refreshes, or re-binds.
-    pub fn commit(
-        &mut self,
-        mac: MacAddr,
-        ip: Option<IpAddr>,
-        location: SwitchPort,
-        now: SimTime,
-    ) {
+    pub fn commit(&mut self, mac: MacAddr, ip: Option<IpAddr>, location: SwitchPort, now: SimTime) {
         let dev = self.devices.entry(mac).or_insert_with(|| Device {
             mac,
             ips: BTreeSet::new(),
@@ -183,7 +175,10 @@ mod tests {
         let m = mac(1);
         let ip = IpAddr::new(10, 0, 0, 1);
 
-        assert_eq!(t.classify(m, Some(ip), loc(1, 2), SimTime::ZERO), Observation::New);
+        assert_eq!(
+            t.classify(m, Some(ip), loc(1, 2), SimTime::ZERO),
+            Observation::New
+        );
         t.commit(m, Some(ip), loc(1, 2), SimTime::ZERO);
         assert_eq!(t.len(), 1);
         assert_eq!(t.location_of(&m), Some(loc(1, 2)));
@@ -221,7 +216,12 @@ mod tests {
         let mut t = DeviceTable::new();
         let ip = IpAddr::new(10, 0, 0, 7);
         t.commit(mac(1), Some(ip), loc(1, 1), SimTime::ZERO);
-        t.commit(mac(2), Some(IpAddr::new(10, 0, 0, 8)), loc(1, 2), SimTime::ZERO);
+        t.commit(
+            mac(2),
+            Some(IpAddr::new(10, 0, 0, 8)),
+            loc(1, 2),
+            SimTime::ZERO,
+        );
         assert_eq!(t.by_ip(&ip).unwrap().mac, mac(1));
         assert!(t.by_ip(&IpAddr::new(10, 0, 0, 99)).is_none());
     }
@@ -229,8 +229,18 @@ mod tests {
     #[test]
     fn multiple_ips_accumulate() {
         let mut t = DeviceTable::new();
-        t.commit(mac(1), Some(IpAddr::new(10, 0, 0, 1)), loc(1, 1), SimTime::ZERO);
-        t.commit(mac(1), Some(IpAddr::new(10, 0, 0, 2)), loc(1, 1), SimTime::ZERO);
+        t.commit(
+            mac(1),
+            Some(IpAddr::new(10, 0, 0, 1)),
+            loc(1, 1),
+            SimTime::ZERO,
+        );
+        t.commit(
+            mac(1),
+            Some(IpAddr::new(10, 0, 0, 2)),
+            loc(1, 1),
+            SimTime::ZERO,
+        );
         assert_eq!(t.get(&mac(1)).unwrap().ips.len(), 2);
     }
 

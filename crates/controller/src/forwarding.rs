@@ -75,10 +75,7 @@ pub fn handle_table_miss(
     let mut msgs = Vec::new();
 
     // Egress rule at the destination switch.
-    msgs.push((
-        dst_loc.dpid,
-        flow_mod(flow_match, dst_loc.port),
-    ));
+    msgs.push((dst_loc.dpid, flow_mod(flow_match, dst_loc.port)));
     // Transit rules along the path.
     for hop in &path {
         msgs.push((hop.src.dpid, flow_mod(flow_match, hop.src.port)));
@@ -86,10 +83,7 @@ pub fn handle_table_miss(
 
     // Re-inject at the reporting switch toward the first hop (or straight
     // to the host if it is local).
-    let out_port = path
-        .first()
-        .map(|hop| hop.src.port)
-        .unwrap_or(dst_loc.port);
+    let out_port = path.first().map(|hop| hop.src.port).unwrap_or(dst_loc.port);
     msgs.push((
         dpid,
         OfMessage::PacketOut {
@@ -143,8 +137,18 @@ mod tests {
         t.observe(DirectedLink::new(sp(2, 2), sp(3, 1)), now, None);
         t.observe(DirectedLink::new(sp(3, 1), sp(2, 2)), now, None);
         let mut d = DeviceTable::new();
-        d.commit(MacAddr::from_index(1), Some(IpAddr::new(10, 0, 0, 1)), sp(1, 1), now);
-        d.commit(MacAddr::from_index(2), Some(IpAddr::new(10, 0, 0, 2)), sp(3, 3), now);
+        d.commit(
+            MacAddr::from_index(1),
+            Some(IpAddr::new(10, 0, 0, 1)),
+            sp(1, 1),
+            now,
+        );
+        d.commit(
+            MacAddr::from_index(2),
+            Some(IpAddr::new(10, 0, 0, 2)),
+            sp(3, 3),
+            now,
+        );
         (t, d)
     }
 

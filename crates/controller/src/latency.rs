@@ -91,7 +91,10 @@ mod tests {
     fn averages_latest_three_only() {
         let mut t = CtrlLatencyTracker::new();
         // Four echoes with RTTs 10, 2, 4, 6 ms: the first must fall out.
-        for (i, (sent, rtt)) in [(0u64, 10u64), (20, 2), (40, 4), (60, 6)].iter().enumerate() {
+        for (i, (sent, rtt)) in [(0u64, 10u64), (20, 2), (40, 4), (60, 6)]
+            .iter()
+            .enumerate()
+        {
             let xid = i as u64;
             t.echo_sent(xid, SW, SimTime::from_millis(*sent));
             t.echo_received(xid, SimTime::from_millis(sent + rtt));

@@ -69,8 +69,14 @@ mod tests {
             ControllerProfile::FLOODLIGHT.link_discovery_interval,
             Duration::from_secs(15)
         );
-        assert_eq!(ControllerProfile::FLOODLIGHT.link_timeout, Duration::from_secs(35));
-        assert_eq!(ControllerProfile::POX.link_discovery_interval, Duration::from_secs(5));
+        assert_eq!(
+            ControllerProfile::FLOODLIGHT.link_timeout,
+            Duration::from_secs(35)
+        );
+        assert_eq!(
+            ControllerProfile::POX.link_discovery_interval,
+            Duration::from_secs(5)
+        );
         assert_eq!(ControllerProfile::POX.link_timeout, Duration::from_secs(10));
         assert_eq!(
             ControllerProfile::OPENDAYLIGHT.link_discovery_interval,

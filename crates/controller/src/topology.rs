@@ -3,13 +3,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::{DatapathId, Duration, PortNo, SimTime, SwitchPort};
 
 /// A directed link from one switch port to another, as inferred from one
 /// LLDP traversal (probe emitted at `src`, received at `dst`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct DirectedLink {
     /// The emitting switch port.
     pub src: SwitchPort,
@@ -33,7 +31,7 @@ impl DirectedLink {
 }
 
 /// Per-link state.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkState {
     /// When the link was first inferred.
     pub first_seen: SimTime,
@@ -128,9 +126,7 @@ impl Topology {
     /// Returns `true` if `port` is an endpoint of any known link — an
     /// "infrastructure port" from which host learning is suppressed.
     pub fn is_infrastructure_port(&self, port: SwitchPort) -> bool {
-        self.links
-            .keys()
-            .any(|l| l.src == port || l.dst == port)
+        self.links.keys().any(|l| l.src == port || l.dst == port)
     }
 
     /// Shortest path (by hop count, BFS) from switch `from` to switch `to`.
@@ -244,7 +240,9 @@ mod tests {
     #[test]
     fn shortest_path_on_line() {
         let t = line();
-        let path = t.shortest_path(DatapathId::new(1), DatapathId::new(3)).unwrap();
+        let path = t
+            .shortest_path(DatapathId::new(1), DatapathId::new(3))
+            .unwrap();
         assert_eq!(path.len(), 2);
         assert_eq!(path[0], link((1, 2), (2, 1)));
         assert_eq!(path[1], link((2, 2), (3, 1)));
@@ -266,7 +264,10 @@ mod tests {
     #[test]
     fn unreachable_is_none() {
         let t = line();
-        assert_eq!(t.shortest_path(DatapathId::new(1), DatapathId::new(9)), None);
+        assert_eq!(
+            t.shortest_path(DatapathId::new(1), DatapathId::new(9)),
+            None
+        );
     }
 
     #[test]
@@ -279,7 +280,9 @@ mod tests {
         t.observe(link((1, 2), (3, 1)), now, None);
         t.observe(link((3, 2), (4, 2)), now, None);
         t.observe(link((1, 3), (4, 3)), now, None);
-        let path = t.shortest_path(DatapathId::new(1), DatapathId::new(4)).unwrap();
+        let path = t
+            .shortest_path(DatapathId::new(1), DatapathId::new(4))
+            .unwrap();
         assert_eq!(path.len(), 1);
         assert_eq!(path[0], link((1, 3), (4, 3)));
     }

@@ -35,8 +35,18 @@ fn two_switch_spec(config: ControllerConfig) -> NetworkSpec {
     );
     spec.add_host(H1, mac(1), ip(1));
     spec.add_host(H2, mac(2), ip(2));
-    spec.attach_host(H1, S1, PortNo::new(2), LinkProfile::fixed(Duration::from_millis(5)));
-    spec.attach_host(H2, S2, PortNo::new(2), LinkProfile::fixed(Duration::from_millis(5)));
+    spec.attach_host(
+        H1,
+        S1,
+        PortNo::new(2),
+        LinkProfile::fixed(Duration::from_millis(5)),
+    );
+    spec.attach_host(
+        H2,
+        S2,
+        PortNo::new(2),
+        LinkProfile::fixed(Duration::from_millis(5)),
+    );
     spec.set_controller(Box::new(SdnController::new(config)));
     spec
 }
@@ -182,7 +192,12 @@ fn host_migration_is_registered() {
     let h3 = HostId::new(3);
     let mut spec2 = two_switch_spec(ControllerConfig::default());
     spec2.add_host(h3, mac(2), ip(2));
-    spec2.attach_host(h3, S1, PortNo::new(3), LinkProfile::fixed(Duration::from_millis(5)));
+    spec2.attach_host(
+        h3,
+        S1,
+        PortNo::new(3),
+        LinkProfile::fixed(Duration::from_millis(5)),
+    );
     spec2.set_host_app(
         H1,
         Box::new(PeriodicPinger::new(ip(2), Duration::from_millis(100))),

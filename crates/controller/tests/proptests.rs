@@ -2,22 +2,25 @@
 //! arbitrary observation sequences, topology expiry invariants, and
 //! shortest-path sanity.
 
-use proptest::prelude::*;
+use tm_prop::prelude::*;
 
 use controller::{DeviceTable, DirectedLink, Topology};
 use sdn_types::{DatapathId, Duration, MacAddr, PortNo, SimTime, SwitchPort};
 
 fn sp(d: u8, p: u8) -> SwitchPort {
-    SwitchPort::new(DatapathId::new(u64::from(d) % 4 + 1), PortNo::new(u16::from(p) % 8 + 1))
+    SwitchPort::new(
+        DatapathId::new(u64::from(d) % 4 + 1),
+        PortNo::new(u16::from(p) % 8 + 1),
+    )
 }
 
-proptest! {
+tm_prop! {
     /// After any observation sequence, each device's location equals the
     /// location of its most recent observation, and move_count equals the
     /// number of location changes.
     #[test]
     fn device_table_tracks_last_observation(
-        obs in proptest::collection::vec((0u8..5, 0u8..4, 0u8..8), 1..100)
+        obs in collection::vec((0u8..5, 0u8..4, 0u8..8), 1..100)
     ) {
         let mut table = DeviceTable::new();
         let mut expected: std::collections::BTreeMap<u8, (SwitchPort, u64)> =
@@ -63,7 +66,7 @@ proptest! {
     /// younger ones.
     #[test]
     fn topology_expiry_is_exact(
-        links in proptest::collection::vec(((0u8..4, 0u8..8), (0u8..4, 0u8..8), 0u64..100), 1..50),
+        links in collection::vec(((0u8..4, 0u8..8), (0u8..4, 0u8..8), 0u64..100), 1..50),
         timeout_s in 1u64..50,
         now_s in 50u64..200,
     ) {
@@ -95,7 +98,7 @@ proptest! {
     /// the previous hop's destination switch) and begins/ends correctly.
     #[test]
     fn shortest_paths_are_connected(
-        links in proptest::collection::vec(((0u8..4, 0u8..8), (0u8..4, 0u8..8)), 1..40),
+        links in collection::vec(((0u8..4, 0u8..8), (0u8..4, 0u8..8)), 1..40),
         from in 0u8..4,
         to in 0u8..4,
     ) {

@@ -69,11 +69,18 @@ pub fn run(scenario: &FloodScenario) -> FloodOutcome {
         victims.push((mac, ip));
         // Victims talk to their neighbour so they are tracked and active.
         let peer_ip = IpAddr::new(10, 0, 0, ((i % scenario.victims as u32) + 1) as u8);
-        spec.set_host_app(host, Box::new(PeriodicPinger::new(peer_ip, Duration::from_millis(400))));
+        spec.set_host_app(
+            host,
+            Box::new(PeriodicPinger::new(peer_ip, Duration::from_millis(400))),
+        );
     }
 
     let attacker = HostId::new(100);
-    spec.add_host(attacker, MacAddr::from_index(100), IpAddr::new(10, 0, 0, 100));
+    spec.add_host(
+        attacker,
+        MacAddr::from_index(100),
+        IpAddr::new(10, 0, 0, 100),
+    );
     spec.attach_host(attacker, sw, PortNo::new(100), link);
     let interval = Duration::from_nanos(1_000_000_000 / scenario.spoof_rate_per_sec.max(1));
     spec.set_host_app(

@@ -79,6 +79,9 @@ pub struct HijackOutcome {
     /// Pings the benign client completed against "the victim" during the
     /// impersonation window (traffic captured by the attacker).
     pub client_pings_during_hijack: u64,
+    /// The full simulator event trace, for replay/determinism checks:
+    /// two runs with the same scenario must produce identical traces.
+    pub trace: Vec<netsim::TraceEvent>,
 }
 
 impl HijackOutcome {
@@ -130,9 +133,7 @@ impl HijackOutcome {
     /// a signed value computed from raw nanoseconds.
     pub fn final_probe_start_delay_ms(&self) -> Option<f64> {
         let probe = self.timeline.final_probe_start?;
-        Some(
-            (probe.as_nanos() as f64 - self.victim_down_at.as_nanos() as f64) / 1e6,
-        )
+        Some((probe.as_nanos() as f64 - self.victim_down_at.as_nanos() as f64) / 1e6)
     }
 }
 
@@ -144,7 +145,10 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
     // The benign client keeps a session toward the victim.
     spec.set_host_app(
         ids.client,
-        Box::new(PeriodicPinger::new(ids.victim_ip, Duration::from_millis(250))),
+        Box::new(PeriodicPinger::new(
+            ids.victim_ip,
+            Duration::from_millis(250),
+        )),
     );
     // The migration-destination NIC needs an app slot so the scenario can
     // script its rejoin traffic.
@@ -237,5 +241,6 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
         migration_alerts: alerts.count(AlertKind::HostMigrationPrecondition)
             + alerts.count(AlertKind::HostMigrationPostcondition),
         client_pings_during_hijack: client_pings_at_rejoin.saturating_sub(client_pings_at_hijack),
+        trace: sim.trace().records().to_vec(),
     }
 }

@@ -88,7 +88,10 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
     spec.set_host_app(ids.attacker, Box::new(PortProbingAttacker::new(probing)));
     spec.set_host_app(
         ids.client,
-        Box::new(PeriodicPinger::new(ids.victim_ip, Duration::from_millis(250))),
+        Box::new(PeriodicPinger::new(
+            ids.victim_ip,
+            Duration::from_millis(250),
+        )),
     );
     spec.set_host_app(ids.victim_new, Box::new(netsim::NullHostApp));
 
@@ -98,8 +101,7 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
     // The co-located resource exhaustion runs from `exhaustion_start`; the
     // hypervisor observes sustained saturation and, after its patience
     // window, live-migrates the victim.
-    let migration_triggered_at =
-        scenario.exhaustion_start + scenario.policy.saturation_patience;
+    let migration_triggered_at = scenario.exhaustion_start + scenario.policy.saturation_patience;
     sim.run_until(migration_triggered_at);
     sim.host_iface_down(ids.victim);
     let victim_down_at = sim.now();
@@ -149,6 +151,7 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
                     .alerts()
                     .count(controller::AlertKind::HostMigrationPostcondition),
             client_pings_during_hijack: 0,
+            trace: sim.trace().records().to_vec(),
         },
     }
 }
@@ -159,7 +162,10 @@ mod tests {
 
     #[test]
     fn induced_window_is_hijacked_like_a_natural_one() {
-        let out = run(&InducedMigrationScenario::new(DefenseStack::TopoGuardSphinx, 11));
+        let out = run(&InducedMigrationScenario::new(
+            DefenseStack::TopoGuardSphinx,
+            11,
+        ));
         assert!(out.hijack.hijack_succeeded(), "{out:?}");
         assert_eq!(out.hijack.alerts_before_rejoin, 0, "{out:?}");
         // The attacker reacted within the induced window.

@@ -135,6 +135,9 @@ pub struct LinkFabOutcome {
     pub stats_a: RelayStats,
     /// Relay statistics from attacker B.
     pub stats_b: RelayStats,
+    /// The full simulator event trace, for replay/determinism checks:
+    /// two runs with the same scenario must produce identical traces.
+    pub trace: Vec<netsim::TraceEvent>,
 }
 
 impl LinkFabOutcome {
@@ -195,8 +198,8 @@ fn collect_outcome(
 ) -> LinkFabOutcome {
     let fake_link = DirectedLink::new(fake_a, fake_b);
     let ctrl: &SdnController = sim.controller_as().expect("controller");
-    let link_established = ctrl.topology().contains(&fake_link)
-        || ctrl.topology().contains(&fake_link.reversed());
+    let link_established =
+        ctrl.topology().contains(&fake_link) || ctrl.topology().contains(&fake_link.reversed());
     let alerts = ctrl.alerts();
     LinkFabOutcome {
         link_established,
@@ -213,6 +216,7 @@ fn collect_outcome(
             .unwrap_or(0),
         stats_a,
         stats_b,
+        trace: sim.trace().records().to_vec(),
     }
 }
 
@@ -220,11 +224,17 @@ fn run_oob_fig1(scenario: &LinkFabScenario) -> LinkFabOutcome {
     let (mut spec, ids) = testbed::fig1_spec(scenario.stack, scenario_config(scenario));
     spec.set_host_app(
         ids.attacker_a,
-        Box::new(OobRelayAttacker::new(oob_relay_config(scenario, ids.attacker_b))),
+        Box::new(OobRelayAttacker::new(oob_relay_config(
+            scenario,
+            ids.attacker_b,
+        ))),
     );
     spec.set_host_app(
         ids.attacker_b,
-        Box::new(OobRelayAttacker::new(oob_relay_config(scenario, ids.attacker_a))),
+        Box::new(OobRelayAttacker::new(oob_relay_config(
+            scenario,
+            ids.attacker_a,
+        ))),
     );
     if scenario.benign_traffic {
         spec.set_host_app(

@@ -12,14 +12,12 @@
 //! (Port Probing is out of TOPOGUARD+'s scope; the paper defers to secure
 //! identifier binding, §VI-A.)
 
-use serde::Serialize;
-
 use crate::defense::DefenseStack;
 use crate::hijack::{self, HijackScenario};
 use crate::linkfab::{self, LinkFabScenario, RelayMode};
 
 /// One matrix cell.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MatrixEntry {
     /// The attack's name.
     pub attack: &'static str,

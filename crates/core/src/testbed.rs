@@ -56,8 +56,16 @@ pub fn fig1_spec(stack: DefenseStack, config: ControllerConfig) -> (NetworkSpec,
     spec.add_switch(ids.s1);
     spec.add_switch(ids.s2);
     let link = LinkProfile::fixed(Duration::from_millis(5));
-    spec.add_host(ids.attacker_a, MacAddr::from_index(101), IpAddr::new(10, 0, 0, 101));
-    spec.add_host(ids.attacker_b, MacAddr::from_index(102), IpAddr::new(10, 0, 0, 102));
+    spec.add_host(
+        ids.attacker_a,
+        MacAddr::from_index(101),
+        IpAddr::new(10, 0, 0, 101),
+    );
+    spec.add_host(
+        ids.attacker_b,
+        MacAddr::from_index(102),
+        IpAddr::new(10, 0, 0, 102),
+    );
     spec.add_host(ids.h1, MacAddr::from_index(1), ids.h1_ip);
     spec.add_host(ids.h2, MacAddr::from_index(2), ids.h2_ip);
     spec.attach_host(ids.attacker_a, ids.s1, PortNo::new(1), link);
@@ -136,9 +144,27 @@ pub fn fig9_spec(stack: DefenseStack, config: ControllerConfig) -> (NetworkSpec,
         spec.add_switch(dpid);
     }
     let trunk = LinkProfile::testbed_dataplane();
-    spec.link_switches(switches[0], PortNo::new(1), switches[1], PortNo::new(1), trunk);
-    spec.link_switches(switches[1], PortNo::new(2), switches[2], PortNo::new(1), trunk);
-    spec.link_switches(switches[2], PortNo::new(2), switches[3], PortNo::new(1), trunk);
+    spec.link_switches(
+        switches[0],
+        PortNo::new(1),
+        switches[1],
+        PortNo::new(1),
+        trunk,
+    );
+    spec.link_switches(
+        switches[1],
+        PortNo::new(2),
+        switches[2],
+        PortNo::new(1),
+        trunk,
+    );
+    spec.link_switches(
+        switches[2],
+        PortNo::new(2),
+        switches[3],
+        PortNo::new(1),
+        trunk,
+    );
 
     let edge = LinkProfile::fixed(Duration::from_millis(5));
     spec.add_host(ids.attacker_a, ids.attacker_a_mac, ids.attacker_a_ip);

@@ -7,8 +7,8 @@
 //! * Port Probing wins the migration race against every stack; alerts only
 //!   appear once the real victim rejoins.
 
-use tm_core::linkfab::{self, LinkFabScenario, RelayMode};
 use tm_core::hijack::{self, HijackScenario};
+use tm_core::linkfab::{self, LinkFabScenario, RelayMode};
 use tm_core::DefenseStack;
 
 fn fab(mode: RelayMode, stack: DefenseStack, seed: u64) -> tm_core::LinkFabOutcome {
@@ -28,7 +28,11 @@ fn mitm_bridge_carries_benign_traffic() {
     // fabricated link: completed pings prove the man-in-the-middle works.
     let out = fab(RelayMode::OutOfBand, DefenseStack::None, 2);
     assert!(out.link_established);
-    assert!(out.benign_pings_ok > 10, "pings over fake link: {}", out.benign_pings_ok);
+    assert!(
+        out.benign_pings_ok > 10,
+        "pings over fake link: {}",
+        out.benign_pings_ok
+    );
     assert!(out.bridged_frames > 20, "bridged: {}", out.bridged_frames);
 }
 
@@ -215,8 +219,14 @@ fn sphinx_catches_a_lossy_mitm_bridge() {
         drop_fraction: 0.7,
         ..RelayConfig::oob(peer)
     };
-    spec.set_host_app(ids.attacker_a, Box::new(OobRelayAttacker::new(lossy(ids.attacker_b))));
-    spec.set_host_app(ids.attacker_b, Box::new(OobRelayAttacker::new(lossy(ids.attacker_a))));
+    spec.set_host_app(
+        ids.attacker_a,
+        Box::new(OobRelayAttacker::new(lossy(ids.attacker_b))),
+    );
+    spec.set_host_app(
+        ids.attacker_b,
+        Box::new(OobRelayAttacker::new(lossy(ids.attacker_a))),
+    );
     spec.set_host_app(
         ids.h1,
         Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(250))),
@@ -250,7 +260,11 @@ fn port_amnesia_is_cadence_agnostic_across_controller_profiles() {
     {
         let out = linkfab::run(&LinkFabScenario {
             profile,
-            ..LinkFabScenario::new(RelayMode::OutOfBand, DefenseStack::TopoGuard, 400 + i as u64)
+            ..LinkFabScenario::new(
+                RelayMode::OutOfBand,
+                DefenseStack::TopoGuard,
+                400 + i as u64,
+            )
         });
         assert!(out.link_established, "{}: {out:?}", profile.name);
         assert!(!out.detected(), "{}: {out:?}", profile.name);
@@ -326,9 +340,5 @@ fn forged_lldp_without_relay_is_stopped_by_authentication() {
         !ctrl.topology().contains(&forged_link(&ids)),
         "authenticated LLDP must reject forgeries"
     );
-    assert!(
-        ctrl.alerts()
-            .count(controller::AlertKind::LinkFabrication)
-            > 0
-    );
+    assert!(ctrl.alerts().count(controller::AlertKind::LinkFabrication) > 0);
 }

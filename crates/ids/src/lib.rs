@@ -21,13 +21,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::packet::{EthernetFrame, IcmpType, Payload, Transport};
 use sdn_types::{Duration, IpAddr, SimTime};
 
 /// Which rule fired.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum IdsRule {
     /// EmergingThreats-style TCP SYN scan: too many bare SYNs per second
     /// from one source.
@@ -55,7 +53,7 @@ impl IdsRule {
 }
 
 /// One IDS alert.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct IdsAlert {
     /// When the rule fired.
     pub at: SimTime,
@@ -298,7 +296,7 @@ impl IdsEngine {
 }
 
 /// The qualitative stealth ratings of Table I.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Stealth {
     /// Likely flagged by standard IDS rules.
     Low,
@@ -357,7 +355,10 @@ mod tests {
         let mut ids = IdsEngine::new(IdsConfig::default());
         // 5 SYNs within one second.
         for i in 0..5 {
-            ids.observe(SimTime::from_millis(i * 200), &syn_frame(ATTACKER, VICTIM, 80));
+            ids.observe(
+                SimTime::from_millis(i * 200),
+                &syn_frame(ATTACKER, VICTIM, 80),
+            );
         }
         assert!(ids.detected(IdsRule::TcpSynScan));
     }
@@ -367,7 +368,10 @@ mod tests {
         let mut ids = IdsEngine::new(IdsConfig::default());
         // 1 SYN every 500 ms = exactly 2/s -> not *above* threshold.
         for i in 0..20 {
-            ids.observe(SimTime::from_millis(i * 500), &syn_frame(ATTACKER, VICTIM, 80));
+            ids.observe(
+                SimTime::from_millis(i * 500),
+                &syn_frame(ATTACKER, VICTIM, 80),
+            );
         }
         assert!(!ids.detected(IdsRule::TcpSynScan));
     }
@@ -388,7 +392,10 @@ mod tests {
         let mut ids = IdsEngine::new(IdsConfig::default());
         for i in 0..50u16 {
             let target = IpAddr::new(10, 0, 0, (i % 250) as u8);
-            ids.observe(SimTime::from_millis(u64::from(i) * 10), &arp_frame(ATTACKER, target));
+            ids.observe(
+                SimTime::from_millis(u64::from(i) * 10),
+                &arp_frame(ATTACKER, target),
+            );
         }
         assert!(ids.detected(IdsRule::ArpDiscoveryFlood));
     }
@@ -415,7 +422,10 @@ mod tests {
     fn alert_cooldown_suppresses_repeats() {
         let mut ids = IdsEngine::new(IdsConfig::default());
         for i in 0..50 {
-            ids.observe(SimTime::from_millis(i * 100), &syn_frame(ATTACKER, VICTIM, 80));
+            ids.observe(
+                SimTime::from_millis(i * 100),
+                &syn_frame(ATTACKER, VICTIM, 80),
+            );
         }
         // 5 seconds of sustained scanning with a 5s cooldown: 1 alert.
         assert_eq!(ids.alerts_for(IdsRule::TcpSynScan).count(), 1);
@@ -426,9 +436,15 @@ mod tests {
         let mut ids = IdsEngine::new(IdsConfig::default());
         let other = IpAddr::new(10, 0, 0, 77);
         for i in 0..5 {
-            ids.observe(SimTime::from_millis(i * 200), &syn_frame(ATTACKER, VICTIM, 80));
+            ids.observe(
+                SimTime::from_millis(i * 200),
+                &syn_frame(ATTACKER, VICTIM, 80),
+            );
             // `other` pings slowly (well under the 2/s threshold).
-            ids.observe(SimTime::from_millis(i * 700 + 1), &icmp_frame(other, VICTIM));
+            ids.observe(
+                SimTime::from_millis(i * 700 + 1),
+                &icmp_frame(other, VICTIM),
+            );
         }
         assert!(ids.detected(IdsRule::TcpSynScan));
         let offenders: Vec<IpAddr> = ids.alerts().iter().map(|a| a.src).collect();
@@ -464,7 +480,10 @@ mod zero_data_tests {
         let mut ids = IdsEngine::new(IdsConfig::default());
         // 40 RSTs toward the scanner within a minute (limit is 30/min).
         for i in 0..40u32 {
-            ids.observe(SimTime::from_millis(u64::from(i) * 1_000), &rst_toward_scanner(i));
+            ids.observe(
+                SimTime::from_millis(u64::from(i) * 1_000),
+                &rst_toward_scanner(i),
+            );
         }
         assert!(ids.detected(IdsRule::ZeroDataTcpFlows));
     }
@@ -474,7 +493,10 @@ mod zero_data_tests {
         let mut ids = IdsEngine::new(IdsConfig::default());
         // A handful of RSTs spread over minutes: ordinary connection churn.
         for i in 0..10u32 {
-            ids.observe(SimTime::from_secs(u64::from(i) * 30), &rst_toward_scanner(i));
+            ids.observe(
+                SimTime::from_secs(u64::from(i) * 30),
+                &rst_toward_scanner(i),
+            );
         }
         assert!(!ids.detected(IdsRule::ZeroDataTcpFlows));
     }

@@ -169,8 +169,16 @@ mod tests {
     fn pinger_arps_first() {
         let mut spec = NetworkSpec::new();
         spec.add_switch(DatapathId::new(1));
-        spec.add_host(HostId::new(1), MacAddr::from_index(1), IpAddr::new(10, 0, 0, 1));
-        spec.add_host(HostId::new(2), MacAddr::from_index(2), IpAddr::new(10, 0, 0, 2));
+        spec.add_host(
+            HostId::new(1),
+            MacAddr::from_index(1),
+            IpAddr::new(10, 0, 0, 1),
+        );
+        spec.add_host(
+            HostId::new(2),
+            MacAddr::from_index(2),
+            IpAddr::new(10, 0, 0, 2),
+        );
         spec.attach_host(
             HostId::new(1),
             DatapathId::new(1),
@@ -185,7 +193,10 @@ mod tests {
         );
         spec.set_host_app(
             HostId::new(1),
-            Box::new(PeriodicPinger::new(IpAddr::new(10, 0, 0, 2), Duration::from_millis(100))),
+            Box::new(PeriodicPinger::new(
+                IpAddr::new(10, 0, 0, 2),
+                Duration::from_millis(100),
+            )),
         );
         let mut sim = Simulator::new(spec, 7);
         sim.run_for(Duration::from_secs(1));

@@ -7,7 +7,7 @@
 
 use std::any::Any;
 
-use rand::rngs::StdRng;
+use tm_rand::StdRng;
 
 use openflow::{OfMessage, PortDesc};
 use sdn_types::{DatapathId, Duration, SimTime};
@@ -50,7 +50,8 @@ impl ControllerCtx<'_> {
 
     /// Schedules `ControllerLogic::on_timer(id)` to fire after `delay`.
     pub fn set_timer(&mut self, delay: Duration, id: TimerId) {
-        self.core.schedule(delay, Event::ControllerTimer { id: id.0 });
+        self.core
+            .schedule(delay, Event::ControllerTimer { id: id.0 });
     }
 
     /// Datapath ids of all connected switches, in ascending order.

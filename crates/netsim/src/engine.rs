@@ -3,8 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tm_rand::StdRng;
 
 use openflow::OfMessage;
 use sdn_types::packet::EthernetFrame;

@@ -4,8 +4,8 @@
 use std::any::Any;
 use std::collections::BTreeSet;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use tm_rand::Rng;
+use tm_rand::StdRng;
 
 use sdn_types::packet::{
     ArpOp, ArpPacket, EthernetFrame, IcmpPacket, IcmpType, Ipv4Packet, Payload, TcpSegment,
@@ -171,10 +171,7 @@ impl HostCtx<'_> {
     }
 
     fn state(&mut self) -> &mut HostState {
-        self.net
-            .hosts
-            .get_mut(&self.host)
-            .expect("ctx host exists")
+        self.net.hosts.get_mut(&self.host).expect("ctx host exists")
     }
 
     /// Sends a raw frame out of the host's interface. Returns `false` if the
@@ -196,10 +193,8 @@ impl HostCtx<'_> {
             return false;
         }
         let delay = link.sample(&mut self.core.rng);
-        self.core.schedule(
-            delay,
-            Event::DeliverToSwitch { dpid, port, frame },
-        );
+        self.core
+            .schedule(delay, Event::DeliverToSwitch { dpid, port, frame });
         true
     }
 
@@ -233,9 +228,7 @@ impl HostCtx<'_> {
             }
         };
         let (lo, hi) = PULSE_WINDOW;
-        let window = Duration::from_nanos(
-            self.core.rng.gen_range(lo.as_nanos()..hi.as_nanos()),
-        );
+        let window = Duration::from_nanos(self.core.rng.gen_range(lo.as_nanos()..hi.as_nanos()));
         self.core.schedule(
             window,
             Event::PulseCheck {
@@ -292,7 +285,8 @@ impl HostCtx<'_> {
                     .rng
                     .gen_range(Duration::from_millis(1).as_nanos()..PULSE_WINDOW.1.as_nanos()),
             );
-            self.core.schedule(detect, Event::PulseCheckUp { dpid, port });
+            self.core
+                .schedule(detect, Event::PulseCheckUp { dpid, port });
         }
     }
 
@@ -387,10 +381,7 @@ pub(crate) fn deliver_frame(
     }
 
     // App hook (take the app out to avoid aliasing).
-    let mut app = net
-        .hosts
-        .get_mut(&host)
-        .and_then(|h| h.app.take());
+    let mut app = net.hosts.get_mut(&host).and_then(|h| h.app.take());
     let disposition = match &mut app {
         Some(app) => {
             let mut ctx = HostCtx { core, net, host };
@@ -434,11 +425,8 @@ fn default_stack(core: &mut SimCore, net: &mut NetState, host: HostId, frame: &E
         Payload::Ipv4(ip) if ip.dst == my_ip => match &ip.transport {
             Transport::Icmp(icmp) => {
                 if respond_icmp && icmp.icmp_type == IcmpType::EchoRequest {
-                    let reply = Ipv4Packet::new(
-                        my_ip,
-                        ip.src,
-                        Transport::Icmp(IcmpPacket::reply_to(icmp)),
-                    );
+                    let reply =
+                        Ipv4Packet::new(my_ip, ip.src, Transport::Icmp(IcmpPacket::reply_to(icmp)));
                     let mut ctx = HostCtx { core, net, host };
                     ctx.send_ipv4(frame.src, reply);
                 }

@@ -1,6 +1,6 @@
 //! Link latency models.
 
-use rand::Rng;
+use tm_rand::Rng;
 
 use sdn_types::Duration;
 use tm_stats::{Distribution, Normal, UniformRange};
@@ -79,11 +79,7 @@ impl LinkProfile {
     /// mild jitter and occasional micro-bursts up to ~12 ms (Fig. 10).
     pub fn testbed_dataplane() -> Self {
         LinkProfile::jittered(Duration::from_millis(5), Duration::from_micros(200)).with_bursts(
-            BurstModel::new(
-                0.03,
-                Duration::from_millis(3),
-                Duration::from_millis(7),
-            ),
+            BurstModel::new(0.03, Duration::from_millis(3), Duration::from_millis(7)),
         )
     }
 
@@ -113,8 +109,7 @@ impl LinkProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tm_rand::StdRng;
 
     #[test]
     fn fixed_links_are_exact() {

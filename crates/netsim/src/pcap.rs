@@ -121,12 +121,19 @@ mod tests {
     #[test]
     fn header_and_records_have_correct_layout() {
         let mut w = PcapWriter::new(Vec::new()).unwrap();
-        w.write_frame(SimTime::from_millis(1500), &frame(7)).unwrap();
+        w.write_frame(SimTime::from_millis(1500), &frame(7))
+            .unwrap();
         let out = w.finish().unwrap();
 
         // Global header.
-        assert_eq!(u32::from_le_bytes(out[0..4].try_into().unwrap()), PCAP_MAGIC);
-        assert_eq!(u32::from_le_bytes(out[20..24].try_into().unwrap()), LINKTYPE_ETHERNET);
+        assert_eq!(
+            u32::from_le_bytes(out[0..4].try_into().unwrap()),
+            PCAP_MAGIC
+        );
+        assert_eq!(
+            u32::from_le_bytes(out[20..24].try_into().unwrap()),
+            LINKTYPE_ETHERNET
+        );
 
         // Record header: ts = 1.5 s.
         assert_eq!(u32::from_le_bytes(out[24..28].try_into().unwrap()), 1);

@@ -126,12 +126,26 @@ impl NetworkSpec {
         {
             let sw_a = self.net.switches.get_mut(&a).expect("switch a exists");
             assert!(!sw_a.ports.contains_key(&port_a), "port in use on {a}");
-            sw_a.attach(port_a, Peer::Switch { dpid: b, port: port_b }, link);
+            sw_a.attach(
+                port_a,
+                Peer::Switch {
+                    dpid: b,
+                    port: port_b,
+                },
+                link,
+            );
         }
         {
             let sw_b = self.net.switches.get_mut(&b).expect("switch b exists");
             assert!(!sw_b.ports.contains_key(&port_b), "port in use on {b}");
-            sw_b.attach(port_b, Peer::Switch { dpid: a, port: port_a }, link);
+            sw_b.attach(
+                port_b,
+                Peer::Switch {
+                    dpid: a,
+                    port: port_a,
+                },
+                link,
+            );
         }
         self
     }
@@ -214,7 +228,8 @@ impl Simulator {
                 },
             );
             let tick = sw.expiry_tick;
-            sim.core.schedule(tick, Event::SwitchExpiryTick { dpid: *dpid });
+            sim.core
+                .schedule(tick, Event::SwitchExpiryTick { dpid: *dpid });
         }
 
         // Controller start hook.
@@ -477,9 +492,12 @@ impl Simulator {
                     .and_then(|sw| sw.ports.get(&port))
                 {
                     Some(p) => match p.peer {
-                        Peer::Host { host } => {
-                            self.net.hosts.get(&host).map(|h| h.iface_up).unwrap_or(false)
-                        }
+                        Peer::Host { host } => self
+                            .net
+                            .hosts
+                            .get(&host)
+                            .map(|h| h.iface_up)
+                            .unwrap_or(false),
                         Peer::Switch { .. } => true,
                     },
                     None => return,

@@ -282,9 +282,7 @@ pub(crate) fn emit_outputs(
                     Some(sw) => sw
                         .ports
                         .iter()
-                        .filter(|(no, p)| {
-                            p.is_up() && (out == PortNo::ALL || **no != in_port)
-                        })
+                        .filter(|(no, p)| p.is_up() && (out == PortNo::ALL || **no != in_port))
                         .map(|(no, _)| *no)
                         .collect(),
                     None => continue,

@@ -1,11 +1,9 @@
 //! A bounded, typed event trace for tests, debugging, and experiments.
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::{DatapathId, HostId, PortNo, SimTime};
 
 /// One traced simulation event.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
     /// A table-miss or action-directed packet was sent to the controller.
     PacketIn {

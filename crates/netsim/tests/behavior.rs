@@ -21,8 +21,18 @@ fn two_host_spec() -> NetworkSpec {
     spec.add_switch(SW1);
     spec.add_host(H1, MacAddr::from_index(1), IpAddr::new(10, 0, 0, 1));
     spec.add_host(H2, MacAddr::from_index(2), IpAddr::new(10, 0, 0, 2));
-    spec.attach_host(H1, SW1, PortNo::new(1), LinkProfile::fixed(Duration::from_millis(1)));
-    spec.attach_host(H2, SW1, PortNo::new(2), LinkProfile::fixed(Duration::from_millis(1)));
+    spec.attach_host(
+        H1,
+        SW1,
+        PortNo::new(1),
+        LinkProfile::fixed(Duration::from_millis(1)),
+    );
+    spec.attach_host(
+        H2,
+        SW1,
+        PortNo::new(2),
+        LinkProfile::fixed(Duration::from_millis(1)),
+    );
     spec
 }
 
@@ -74,7 +84,8 @@ impl ControllerLogic for FloodController {
             }
             OfMessage::EchoReply { .. } => {
                 if let Some(sent) = self.echo_sent.take() {
-                    self.echo_rtts_ms.push(ctx.now().since(sent).as_millis_f64());
+                    self.echo_rtts_ms
+                        .push(ctx.now().since(sent).as_millis_f64());
                 }
             }
             _ => {}
@@ -83,7 +94,13 @@ impl ControllerLogic for FloodController {
 
     fn on_timer(&mut self, ctx: &mut ControllerCtx<'_>, _id: TimerId) {
         self.echo_sent = Some(ctx.now());
-        ctx.send(SW1, OfMessage::EchoRequest { xid: Xid(1), payload: 7 });
+        ctx.send(
+            SW1,
+            OfMessage::EchoRequest {
+                xid: Xid(1),
+                payload: 7,
+            },
+        );
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -148,7 +165,10 @@ fn long_iface_down_triggers_port_down_within_pulse_window() {
     let down_event = sim.trace().of_kind("PortDown").next().cloned().unwrap();
     if let netsim::TraceEvent::PortDown { at, .. } = down_event {
         let detect_ms = at.since(SimTime::from_millis(10)).as_millis_f64();
-        assert!((8.0..24.0).contains(&detect_ms), "detected after {detect_ms} ms");
+        assert!(
+            (8.0..24.0).contains(&detect_ms),
+            "detected after {detect_ms} ms"
+        );
     }
 }
 
@@ -326,7 +346,10 @@ fn default_stack_answers_arp_and_ping_over_flood_controller() {
     spec.set_controller(Box::new(FloodController::new()));
     spec.set_host_app(
         H1,
-        Box::new(PeriodicPinger::new(IpAddr::new(10, 0, 0, 2), Duration::from_millis(50))),
+        Box::new(PeriodicPinger::new(
+            IpAddr::new(10, 0, 0, 2),
+            Duration::from_millis(50),
+        )),
     );
     let mut sim = Simulator::new(spec, 11);
     sim.run_for(Duration::from_secs(2));
@@ -345,7 +368,11 @@ fn same_seed_same_trace_different_seed_diverges() {
     fn run(seed: u64) -> (u64, usize) {
         let mut spec = two_host_spec();
         spec.set_controller(Box::new(FloodController::new()));
-        spec.add_host(HostId::new(3), MacAddr::from_index(3), IpAddr::new(10, 0, 0, 3));
+        spec.add_host(
+            HostId::new(3),
+            MacAddr::from_index(3),
+            IpAddr::new(10, 0, 0, 3),
+        );
         spec.attach_host(
             HostId::new(3),
             SW1,

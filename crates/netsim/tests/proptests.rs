@@ -1,7 +1,7 @@
 //! Property tests for the simulator: determinism and port state machine
 //! invariants under arbitrary interface bounce schedules.
 
-use proptest::prelude::*;
+use tm_prop::prelude::*;
 
 use netsim::{LinkProfile, NetworkSpec, Simulator, TraceEvent};
 use sdn_types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo, SimTime};
@@ -44,14 +44,14 @@ fn run_schedule(seed: u64, schedule: &[(u64, u64)]) -> Vec<(String, u64)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+tm_prop! {
+    #![tm_config(cases = 32)]
 
     /// Same seed + same schedule => byte-identical event traces.
     #[test]
     fn simulation_is_deterministic(
         seed in any::<u64>(),
-        schedule in proptest::collection::vec((1u64..500, 1u64..100), 0..8),
+        schedule in collection::vec((1u64..500, 1u64..100), 0..8),
     ) {
         let a = run_schedule(seed, &schedule);
         let b = run_schedule(seed, &schedule);
@@ -64,7 +64,7 @@ proptest! {
     #[test]
     fn port_events_alternate_and_respect_pulse_window(
         seed in any::<u64>(),
-        schedule in proptest::collection::vec((100u64..400, 1u64..100), 1..6),
+        schedule in collection::vec((100u64..400, 1u64..100), 1..6),
     ) {
         let events = run_schedule(seed, &schedule);
         let port_events: Vec<&(String, u64)> = events
@@ -101,7 +101,7 @@ proptest! {
     #[test]
     fn identity_follows_last_completed_up(
         seed in any::<u64>(),
-        ids in proptest::collection::vec(1u32..100, 1..6),
+        ids in collection::vec(1u32..100, 1..6),
     ) {
         let mut sim = Simulator::new(spec(), seed);
         let mut t = 0u64;

@@ -1,13 +1,11 @@
 //! OpenFlow actions.
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::packet::{EthernetFrame, Payload};
 use sdn_types::{IpAddr, MacAddr, PortNo};
 
 /// An action applied to a matched packet. An empty action list drops the
 /// packet (OpenFlow 1.0 semantics).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Action {
     /// Forward out of a port (physical or reserved: FLOOD, CONTROLLER, ...).
     Output(PortNo),

@@ -1,7 +1,5 @@
 //! The OpenFlow 1.0 match structure (wildcard-based).
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::packet::{EthernetFrame, Payload, Transport};
 use sdn_types::{IpAddr, MacAddr, PortNo};
 
@@ -9,7 +7,7 @@ use sdn_types::{IpAddr, MacAddr, PortNo};
 ///
 /// Matching follows OpenFlow 1.0 semantics: a packet matches if every
 /// specified field equals the packet's corresponding header value.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
 pub struct FlowMatch {
     /// Ingress port.
     pub in_port: Option<PortNo>,
@@ -273,7 +271,10 @@ mod tests {
         let m = FlowMatch::new().with_l4_dst(80);
         assert!(m.matches(&tcp_frame(80), PortNo::new(1)));
         assert!(!m.matches(&tcp_frame(443), PortNo::new(1)));
-        assert!(!m.matches(&icmp_frame(), PortNo::new(1)), "ICMP has no ports");
+        assert!(
+            !m.matches(&icmp_frame(), PortNo::new(1)),
+            "ICMP has no ports"
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod wire;
 pub use actions::Action;
 pub use flow_match::FlowMatch;
 pub use messages::{
-    FlowModCommand, FlowRemovedReason, FlowStatsEntry, OfMessage, PacketInReason,
-    PortStatsEntry, PortStatusReason, Xid,
+    FlowModCommand, FlowRemovedReason, FlowStatsEntry, OfMessage, PacketInReason, PortStatsEntry,
+    PortStatusReason, Xid,
 };
 pub use port::{PortDesc, PortLinkState};
 pub use table::{FlowEntry, FlowTable, MatchOutcome, RemovedFlow};

@@ -10,18 +10,16 @@
 //!   control-link latency (`T_SW`).
 //! * `FlowStats`/`PortStats` — the switch counters SPHINX audits.
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::{DatapathId, PortNo, SimTime};
 
 use crate::{Action, FlowMatch, PortDesc};
 
 /// A transaction identifier correlating requests with replies.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Xid(pub u64);
 
 /// Why a packet was sent to the controller.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PacketInReason {
     /// No flow-table entry matched.
     NoMatch,
@@ -30,7 +28,7 @@ pub enum PacketInReason {
 }
 
 /// Why a PortStatus message was emitted.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PortStatusReason {
     /// A port was added.
     Add,
@@ -41,7 +39,7 @@ pub enum PortStatusReason {
 }
 
 /// FlowMod commands (OpenFlow 1.0 subset).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FlowModCommand {
     /// Add a new rule.
     Add,
@@ -50,7 +48,7 @@ pub enum FlowModCommand {
 }
 
 /// Why a flow entry was removed.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FlowRemovedReason {
     /// Idle timeout expired.
     IdleTimeout,
@@ -61,7 +59,7 @@ pub enum FlowRemovedReason {
 }
 
 /// Per-flow statistics, as returned in a stats reply.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct FlowStatsEntry {
     /// The rule's match.
     pub flow_match: FlowMatch,
@@ -74,7 +72,7 @@ pub struct FlowStatsEntry {
 }
 
 /// Per-port statistics, as returned in a stats reply.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PortStatsEntry {
     /// The port.
     pub port_no: PortNo,
@@ -93,7 +91,7 @@ pub struct PortStatsEntry {
 /// The `dpid` of the sending/receiving switch travels with the message in
 /// the simulator's control-channel envelope, not inside the message itself
 /// (matching how a real controller identifies messages by connection).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum OfMessage {
     /// Connection handshake.
     Hello,

@@ -1,11 +1,9 @@
 //! Switch port descriptions.
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::{MacAddr, PortNo};
 
 /// The administrative/link state of a switch port.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PortLinkState {
     /// Link is up and carrying traffic.
     Up,
@@ -16,7 +14,7 @@ pub enum PortLinkState {
 
 /// A description of one switch port, as carried in FeaturesReply and
 /// PortStatus messages.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PortDesc {
     /// The port number.
     pub port_no: PortNo,

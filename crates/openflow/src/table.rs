@@ -1,8 +1,6 @@
 //! The switch flow table: priority-ordered rules with timeouts and
 //! counters.
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::packet::EthernetFrame;
 use sdn_types::{Duration, PortNo, SimTime};
 
@@ -11,7 +9,7 @@ use crate::messages::{FlowRemovedReason, FlowStatsEntry};
 use crate::{Action, FlowMatch};
 
 /// One installed flow rule.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlowEntry {
     /// The match guard.
     pub flow_match: FlowMatch,
@@ -92,7 +90,7 @@ impl FlowEntry {
 
 /// A rule evicted from the table, with the reason and final counters —
 /// the payload of a FlowRemoved message.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RemovedFlow {
     /// The evicted rule.
     pub entry: FlowEntry,
@@ -119,7 +117,7 @@ pub enum MatchOutcome {
 ///
 /// Rules are consulted highest-priority first; among equal priorities the
 /// earliest-installed wins (stable order).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
 }
@@ -297,11 +295,8 @@ mod tests {
             SimTime::ZERO,
         );
         table.insert(
-            FlowEntry::new(
-                FlowMatch::new().with_eth_dst(MacAddr::new([2; 6])),
-                out(2),
-            )
-            .with_priority(10),
+            FlowEntry::new(FlowMatch::new().with_eth_dst(MacAddr::new([2; 6])), out(2))
+                .with_priority(10),
             SimTime::ZERO,
         );
         match table.process(&frame(2), PortNo::new(9), SimTime::ZERO) {
@@ -334,7 +329,10 @@ mod tests {
         let mut table = FlowTable::new();
         table.insert(FlowEntry::new(FlowMatch::new(), out(1)), SimTime::ZERO);
         table.process(&frame(2), PortNo::new(1), SimTime::ZERO);
-        table.insert(FlowEntry::new(FlowMatch::new(), out(2)), SimTime::from_secs(1));
+        table.insert(
+            FlowEntry::new(FlowMatch::new(), out(2)),
+            SimTime::from_secs(1),
+        );
         assert_eq!(table.len(), 1);
         assert_eq!(table.stats()[0].packet_count, 0);
     }

@@ -15,7 +15,7 @@
 //! decode to an error, never a panic — verified by fuzz-style property
 //! tests.
 
-use bytes::{BufMut, BytesMut};
+use sdn_types::buf::BytesMut;
 
 use sdn_types::{IpAddr, MacAddr, ParseError, PortNo, SimTime};
 
@@ -596,7 +596,10 @@ fn encode_flow_stats(buf: &mut BytesMut, f: &FlowStatsEntry) {
 fn decode_flow_stats(r: &mut Reader<'_>) -> Result<FlowStatsEntry, ParseError> {
     let len = usize::from(r.u16()?);
     if len != FLOW_STATS_LEN {
-        return Err(ParseError::bad_field("FlowStats", "unexpected entry length"));
+        return Err(ParseError::bad_field(
+            "FlowStats",
+            "unexpected entry length",
+        ));
     }
     r.skip(2)?; // table_id + pad
     let flow_match = decode_match(r)?;
@@ -861,8 +864,14 @@ mod tests {
     #[test]
     fn garbage_is_rejected_not_panicked() {
         assert!(decode(&[]).is_err());
-        assert!(decode(&[0x04, 0, 0, 8, 0, 0, 0, 0]).is_err(), "wrong version");
-        assert!(decode(&[0x01, 99, 0, 8, 0, 0, 0, 0]).is_err(), "unknown type");
+        assert!(
+            decode(&[0x04, 0, 0, 8, 0, 0, 0, 0]).is_err(),
+            "wrong version"
+        );
+        assert!(
+            decode(&[0x01, 99, 0, 8, 0, 0, 0, 0]).is_err(),
+            "unknown type"
+        );
         assert!(decode(&[0x01, 0, 0, 99, 0, 0, 0, 0]).is_err(), "bad length");
     }
 }

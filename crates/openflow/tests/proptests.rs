@@ -1,6 +1,6 @@
 //! Property tests for flow-table invariants.
 
-use proptest::prelude::*;
+use tm_prop::prelude::*;
 
 use openflow::{Action, FlowEntry, FlowMatch, FlowTable, MatchOutcome};
 use sdn_types::packet::{EthernetFrame, Payload};
@@ -8,9 +8,9 @@ use sdn_types::{Duration, MacAddr, PortNo, SimTime};
 
 fn arb_match() -> impl Strategy<Value = FlowMatch> {
     (
-        proptest::option::of(0u16..8),
-        proptest::option::of(any::<u8>()),
-        proptest::option::of(any::<u8>()),
+        option::of(0u16..8),
+        option::of(any::<u8>()),
+        option::of(any::<u8>()),
     )
         .prop_map(|(in_port, src, dst)| {
             let mut m = FlowMatch::new();
@@ -44,10 +44,10 @@ fn frame(src: u8, dst: u8) -> EthernetFrame {
     )
 }
 
-proptest! {
+tm_prop! {
     /// The table always consults rules in non-increasing priority order.
     #[test]
-    fn priorities_are_sorted_after_any_insert_sequence(entries in proptest::collection::vec(arb_entry(), 0..40)) {
+    fn priorities_are_sorted_after_any_insert_sequence(entries in collection::vec(arb_entry(), 0..40)) {
         let mut table = FlowTable::new();
         for e in entries {
             table.insert(e, SimTime::ZERO);
@@ -62,7 +62,7 @@ proptest! {
     /// first (highest-priority) matching rule.
     #[test]
     fn process_returns_highest_priority_match(
-        entries in proptest::collection::vec(arb_entry(), 1..30),
+        entries in collection::vec(arb_entry(), 1..30),
         src in any::<u8>(),
         dst in any::<u8>(),
         in_port in 0u16..8,
@@ -95,8 +95,8 @@ proptest! {
     /// Counters: total packet count across rules equals the number of hits.
     #[test]
     fn counters_sum_to_hits(
-        entries in proptest::collection::vec(arb_entry(), 1..10),
-        frames in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u16..8), 0..50),
+        entries in collection::vec(arb_entry(), 1..10),
+        frames in collection::vec((any::<u8>(), any::<u8>(), 0u16..8), 0..50),
     ) {
         let mut table = FlowTable::new();
         for e in entries {
@@ -118,7 +118,7 @@ proptest! {
     /// survives, and expire never removes a rule with no timeout.
     #[test]
     fn expiry_respects_timeouts(
-        timeouts in proptest::collection::vec(proptest::option::of(1u64..100), 1..20),
+        timeouts in collection::vec(option::of(1u64..100), 1..20),
     ) {
         let mut table = FlowTable::new();
         let mut timed = 0usize;
@@ -148,15 +148,15 @@ use sdn_types::{IpAddr, MacAddr as Mac};
 
 fn arb_full_match() -> impl Strategy<Value = FlowMatch> {
     (
-        proptest::option::of(0u16..0xff00),
-        proptest::option::of(any::<[u8; 6]>()),
-        proptest::option::of(any::<[u8; 6]>()),
-        proptest::option::of(any::<u16>()),
-        proptest::option::of(any::<[u8; 4]>()),
-        proptest::option::of(any::<[u8; 4]>()),
-        proptest::option::of(any::<u8>()),
-        proptest::option::of(any::<u16>()),
-        proptest::option::of(any::<u16>()),
+        option::of(0u16..0xff00),
+        option::of(any::<[u8; 6]>()),
+        option::of(any::<[u8; 6]>()),
+        option::of(any::<u16>()),
+        option::of(any::<[u8; 4]>()),
+        option::of(any::<[u8; 4]>()),
+        option::of(any::<u8>()),
+        option::of(any::<u16>()),
+        option::of(any::<u16>()),
     )
         .prop_map(
             |(in_port, src, dst, et, ip_s, ip_d, proto, l4s, l4d)| FlowMatch {
@@ -174,7 +174,7 @@ fn arb_full_match() -> impl Strategy<Value = FlowMatch> {
 }
 
 fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
-    proptest::collection::vec(
+    collection::vec(
         prop_oneof![
             (0u16..0xff00).prop_map(|p| Action::Output(PortNo::new(p))),
             any::<[u8; 6]>().prop_map(|m| Action::SetEthSrc(Mac::new(m))),
@@ -186,7 +186,7 @@ fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
     )
 }
 
-proptest! {
+tm_prop! {
     /// Any FlowMod survives the OpenFlow 1.0 binary wire format.
     #[test]
     fn wire_flow_mod_round_trips(
@@ -217,7 +217,7 @@ proptest! {
     /// PacketIn/PacketOut data payloads survive byte-exactly.
     #[test]
     fn wire_packet_messages_round_trip(
-        data in proptest::collection::vec(any::<u8>(), 0..256),
+        data in collection::vec(any::<u8>(), 0..256),
         in_port in 0u16..0xff00,
         actions in arb_actions(),
     ) {
@@ -240,7 +240,7 @@ proptest! {
 
     /// Arbitrary bytes never panic the decoder.
     #[test]
-    fn wire_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn wire_decoder_is_total(bytes in collection::vec(any::<u8>(), 0..256)) {
         let _ = wire::decode(&bytes);
     }
 }

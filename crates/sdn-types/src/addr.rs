@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ParseError;
 
 /// A 48-bit IEEE 802 MAC address.
@@ -13,7 +11,7 @@ use crate::ParseError;
 /// host-tracking tables. The all-ones address is exposed as
 /// [`MacAddr::BROADCAST`]; the LLDP nearest-bridge multicast group used by
 /// link discovery is [`MacAddr::LLDP_MULTICAST`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MacAddr([u8; 6]);
 
 impl MacAddr {
@@ -48,10 +46,7 @@ impl MacAddr {
 
     /// Returns `true` if this is the broadcast address.
     pub const fn is_broadcast(&self) -> bool {
-        matches!(
-            self.0,
-            [0xff, 0xff, 0xff, 0xff, 0xff, 0xff]
-        )
+        matches!(self.0, [0xff, 0xff, 0xff, 0xff, 0xff, 0xff])
     }
 
     /// Returns `true` if the group (multicast) bit is set. The broadcast
@@ -117,9 +112,9 @@ impl From<[u8; 6]> for MacAddr {
 /// An IPv4 address.
 ///
 /// A thin newtype over four octets rather than [`std::net::Ipv4Addr`] so
-/// wire encoding, serde representation, and `const` construction stay under
+/// wire encoding, text formatting, and `const` construction stay under
 /// this crate's control.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IpAddr([u8; 4]);
 
 impl IpAddr {

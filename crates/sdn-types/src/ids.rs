@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 64-bit OpenFlow datapath identifier naming a switch.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DatapathId(pub u64);
 
 impl DatapathId {
@@ -54,7 +52,7 @@ impl From<u64> for DatapathId {
 ///
 /// Reserved values follow OpenFlow 1.0: [`PortNo::CONTROLLER`],
 /// [`PortNo::FLOOD`], [`PortNo::ALL`], and [`PortNo::LOCAL`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortNo(pub u16);
 
 impl PortNo {
@@ -114,7 +112,7 @@ impl From<u16> for PortNo {
 ///
 /// This is the value the Host Tracking Service binds host identifiers to,
 /// and the endpoint type used by link discovery.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SwitchPort {
     /// The switch's datapath identifier.
     pub dpid: DatapathId,
@@ -142,7 +140,7 @@ impl fmt::Debug for SwitchPort {
 }
 
 /// A simulation-level host identifier (not visible on the wire).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub u32);
 
 impl HostId {
@@ -167,7 +165,7 @@ impl fmt::Debug for HostId {
 /// A simulation node: a switch, a host, or the controller.
 ///
 /// Used by the discrete-event engine to address event handlers.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum NodeId {
     /// An OpenFlow switch, by datapath id.
     Switch(DatapathId),

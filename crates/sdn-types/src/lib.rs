@@ -34,9 +34,10 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod buf;
+pub mod crypto;
 mod error;
 mod ids;
-pub mod crypto;
 pub mod packet;
 pub mod time;
 

@@ -1,12 +1,11 @@
 //! ARP (RFC 826) for Ethernet/IPv4.
 
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use crate::buf::BytesMut;
 
 use crate::{IpAddr, MacAddr, ParseError};
 
 /// ARP operation code.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ArpOp {
     /// Who-has request (opcode 1).
     Request,
@@ -36,7 +35,7 @@ impl ArpOp {
 /// ARP is central to two parts of the paper: `arping`-based liveness probes
 /// (Table I — the stealthiest practical probe) and MAC-address harvesting
 /// before a host-location hijack.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ArpPacket {
     /// Operation (request or reply).
     pub op: ArpOp,

@@ -1,14 +1,13 @@
 //! Ethernet II framing.
 
-use bytes::{BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
+use crate::buf::{Bytes, BytesMut};
 
 use crate::{MacAddr, ParseError};
 
 use super::{ArpPacket, Ipv4Packet, LldpPacket};
 
 /// An EtherType value identifying the payload protocol.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EtherType(pub u16);
 
 impl EtherType {
@@ -23,7 +22,7 @@ impl EtherType {
 }
 
 /// The payload of an Ethernet frame.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Payload {
     /// An ARP packet.
     Arp(ArpPacket),
@@ -57,7 +56,7 @@ impl Payload {
 ///
 /// Frames are the unit of transmission on every dataplane link and
 /// out-of-band channel in the simulation.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EthernetFrame {
     /// Source MAC address.
     pub src: MacAddr,

@@ -1,14 +1,13 @@
 //! ICMP echo (RFC 792) — the basis of ping-style liveness probes.
 
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use crate::buf::BytesMut;
 
 use crate::ParseError;
 
 use super::internet_checksum;
 
 /// ICMP message type (echo subset).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum IcmpType {
     /// Echo reply (type 0).
     EchoReply,
@@ -38,7 +37,7 @@ impl IcmpType {
 }
 
 /// An ICMP message with echo identifier/sequence fields.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct IcmpPacket {
     /// Message type.
     pub icmp_type: IcmpType,

@@ -1,14 +1,13 @@
 //! IPv4 (RFC 791) with ICMP / TCP / UDP transport payloads.
 
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use crate::buf::BytesMut;
 
 use crate::{IpAddr, ParseError};
 
 use super::{internet_checksum, IcmpPacket, TcpSegment, UdpDatagram};
 
 /// An IP protocol number.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct IpProtocol(pub u8);
 
 impl IpProtocol {
@@ -21,7 +20,7 @@ impl IpProtocol {
 }
 
 /// The transport payload of an IPv4 packet.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Transport {
     /// An ICMP message.
     Icmp(IcmpPacket),
@@ -51,7 +50,7 @@ impl Transport {
 }
 
 /// An IPv4 packet with a fixed 20-byte header (no options).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Ipv4Packet {
     /// Source address.
     pub src: IpAddr,

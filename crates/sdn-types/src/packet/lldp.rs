@@ -18,8 +18,7 @@
 //! the HMAC — valid. That is exactly why authenticated LLDP alone does not
 //! stop link fabrication, and why the LLI falls back to timing.
 
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use crate::buf::BytesMut;
 
 use crate::crypto::{Hmac, Key, StreamCipher, Tag};
 use crate::{DatapathId, ParseError, PortNo, SimTime};
@@ -39,7 +38,7 @@ mod subtype {
 }
 
 /// LLDP TLV type codes.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TlvType(pub u8);
 
 impl TlvType {
@@ -56,7 +55,7 @@ impl TlvType {
 }
 
 /// A raw LLDP TLV: 7-bit type, 9-bit length, value bytes.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LldpTlv {
     /// TLV type code (0..=127).
     pub tlv_type: TlvType,
@@ -79,7 +78,7 @@ impl LldpTlv {
 }
 
 /// An encrypted departure timestamp carried in an LLDP packet.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SealedTimestamp {
     /// The nonce the timestamp was sealed under.
     pub nonce: u64,
@@ -92,7 +91,7 @@ pub struct SealedTimestamp {
 /// The discovery-relevant fields are first-class; any TLVs this crate does
 /// not understand are preserved byte-exact in `extra_tlvs` so that relaying
 /// (the attack primitive) is always faithful.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LldpPacket {
     /// The emitting switch's datapath id (from the DPID org TLV, falling
     /// back to the chassis ID TLV).
@@ -239,7 +238,11 @@ impl LldpPacket {
             let len = usize::from(header & 0x1ff);
             offset += 2;
             if offset + len > bytes.len() {
-                return Err(ParseError::truncated("LldpPacket", offset + len, bytes.len()));
+                return Err(ParseError::truncated(
+                    "LldpPacket",
+                    offset + len,
+                    bytes.len(),
+                ));
             }
             let value = &bytes[offset..offset + len];
             offset += len;

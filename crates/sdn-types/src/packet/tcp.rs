@@ -6,13 +6,12 @@
 //! flag byte, and the IP identification side channel (carried by the
 //! simulator's host stack, see `netsim`).
 
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use crate::buf::BytesMut;
 
 use crate::ParseError;
 
 /// TCP control flags (subset: FIN, SYN, RST, PSH, ACK).
-#[derive(Clone, Copy, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct TcpFlags {
     /// No more data from sender.
     pub fin: bool,
@@ -92,7 +91,7 @@ impl TcpFlags {
 }
 
 /// A TCP segment with a fixed 20-byte header (no options).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TcpSegment {
     /// Source port.
     pub src_port: u16,

@@ -1,12 +1,11 @@
 //! Minimal UDP datagrams.
 
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use crate::buf::BytesMut;
 
 use crate::ParseError;
 
 /// A UDP datagram (RFC 768).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct UdpDatagram {
     /// Source port.
     pub src_port: u16,

@@ -1,7 +1,7 @@
 //! Property-based tests: every packet type must round-trip byte-exactly
 //! through encode/parse for arbitrary field values.
 
-use proptest::prelude::*;
+use tm_prop::prelude::*;
 
 use sdn_types::crypto::{Key, StreamCipher};
 use sdn_types::packet::{
@@ -19,20 +19,15 @@ fn arb_ip() -> impl Strategy<Value = IpAddr> {
 }
 
 fn arb_arp() -> impl Strategy<Value = ArpPacket> {
-    (
-        any::<bool>(),
-        arb_mac(),
-        arb_ip(),
-        arb_mac(),
-        arb_ip(),
-    )
-        .prop_map(|(is_req, sender_mac, sender_ip, target_mac, target_ip)| ArpPacket {
+    (any::<bool>(), arb_mac(), arb_ip(), arb_mac(), arb_ip()).prop_map(
+        |(is_req, sender_mac, sender_ip, target_mac, target_ip)| ArpPacket {
             op: if is_req { ArpOp::Request } else { ArpOp::Reply },
             sender_mac,
             sender_ip,
             target_mac,
             target_ip,
-        })
+        },
+    )
 }
 
 fn arb_icmp() -> impl Strategy<Value = IcmpPacket> {
@@ -44,7 +39,7 @@ fn arb_icmp() -> impl Strategy<Value = IcmpPacket> {
         ],
         any::<u16>(),
         any::<u16>(),
-        proptest::collection::vec(any::<u8>(), 0..64),
+        collection::vec(any::<u8>(), 0..64),
     )
         .prop_map(|(icmp_type, identifier, sequence, data)| IcmpPacket {
             icmp_type,
@@ -62,30 +57,32 @@ fn arb_tcp() -> impl Strategy<Value = TcpSegment> {
         any::<u32>(),
         any::<u8>(),
         any::<u16>(),
-        proptest::collection::vec(any::<u8>(), 0..64),
+        collection::vec(any::<u8>(), 0..64),
     )
-        .prop_map(|(src_port, dst_port, seq, ack, flags, window, data)| TcpSegment {
-            src_port,
-            dst_port,
-            seq,
-            ack,
-            flags: TcpFlags {
-                fin: flags & 1 != 0,
-                syn: flags & 2 != 0,
-                rst: flags & 4 != 0,
-                psh: flags & 8 != 0,
-                ack: flags & 16 != 0,
+        .prop_map(
+            |(src_port, dst_port, seq, ack, flags, window, data)| TcpSegment {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags: TcpFlags {
+                    fin: flags & 1 != 0,
+                    syn: flags & 2 != 0,
+                    rst: flags & 4 != 0,
+                    psh: flags & 8 != 0,
+                    ack: flags & 16 != 0,
+                },
+                window,
+                data,
             },
-            window,
-            data,
-        })
+        )
 }
 
 fn arb_udp() -> impl Strategy<Value = UdpDatagram> {
     (
         any::<u16>(),
         any::<u16>(),
-        proptest::collection::vec(any::<u8>(), 0..64),
+        collection::vec(any::<u8>(), 0..64),
     )
         .prop_map(|(src_port, dst_port, data)| UdpDatagram {
             src_port,
@@ -99,7 +96,7 @@ fn arb_transport() -> impl Strategy<Value = Transport> {
         arb_icmp().prop_map(Transport::Icmp),
         arb_tcp().prop_map(Transport::Tcp),
         arb_udp().prop_map(Transport::Udp),
-        (200u8..250, proptest::collection::vec(any::<u8>(), 0..32))
+        (200u8..250, collection::vec(any::<u8>(), 0..32))
             .prop_map(|(protocol, data)| Transport::Raw { protocol, data }),
     ]
 }
@@ -109,11 +106,8 @@ fn arb_lldp() -> impl Strategy<Value = LldpPacket> {
         any::<u64>(),
         any::<u16>(),
         1u16..=30000,
-        proptest::option::of(any::<u64>()),
-        proptest::collection::vec(
-            (4u8..120, proptest::collection::vec(any::<u8>(), 0..32)),
-            0..3,
-        ),
+        option::of(any::<u64>()),
+        collection::vec((4u8..120, collection::vec(any::<u8>(), 0..32)), 0..3),
     )
         .prop_map(|(dpid, port, ttl_secs, auth_tag, extras)| {
             let mut pkt = LldpPacket::new(DatapathId::new(dpid), PortNo::new(port));
@@ -142,14 +136,14 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
             },
         ),
         arb_lldp().prop_map(Payload::Lldp),
-        (proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|data| Payload::Opaque {
+        (collection::vec(any::<u8>(), 0..64)).prop_map(|data| Payload::Opaque {
             ethertype: 0x1234,
             data
         }),
     ]
 }
 
-proptest! {
+tm_prop! {
     #[test]
     fn ethernet_frame_round_trips(src in arb_mac(), dst in arb_mac(), payload in arb_payload()) {
         let frame = EthernetFrame::new(src, dst, payload);
@@ -186,7 +180,7 @@ proptest! {
     }
 
     #[test]
-    fn stream_cipher_is_an_involution(seed in any::<u64>(), nonce in any::<u64>(), mut data in proptest::collection::vec(any::<u8>(), 0..128)) {
+    fn stream_cipher_is_an_involution(seed in any::<u64>(), nonce in any::<u64>(), mut data in collection::vec(any::<u8>(), 0..128)) {
         let cipher = StreamCipher::new(Key::from_seed(seed));
         let original = data.clone();
         cipher.apply(nonce, &mut data);
@@ -195,7 +189,7 @@ proptest! {
     }
 
     #[test]
-    fn parse_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn parse_arbitrary_bytes_never_panics(bytes in collection::vec(any::<u8>(), 0..256)) {
         // Parsing hostile input must fail gracefully, never panic.
         let _ = EthernetFrame::parse(&bytes);
         let _ = LldpPacket::parse(&bytes);

@@ -26,13 +26,12 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
+use controller::DirectedLink;
 use controller::{
     Alert, AlertKind, Command, DefenseModule, HostMove, LinkLatencySample, ModuleCtx,
 };
-use controller::DirectedLink;
 use openflow::{FlowStatsEntry, OfMessage};
 use sdn_types::{DatapathId, Duration, MacAddr, SimTime, SwitchPort};
-use serde::{Deserialize, Serialize};
 
 /// SPHINX configuration.
 #[derive(Clone, Copy, Debug)]
@@ -64,7 +63,7 @@ impl Default for SphinxConfig {
 }
 
 /// A flow key: source and destination MAC.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowKey {
     /// Source MAC.
     pub src: MacAddr,

@@ -37,7 +37,11 @@ fn flow_mods_build_the_trusted_flow_graph() {
     let mut sphinx = Sphinx::new(SphinxConfig::default());
     let (a, b) = (MacAddr::from_index(1), MacAddr::from_index(2));
     for dpid in [1u64, 2, 3] {
-        sphinx.on_flow_mod(&mut h.ctx(SimTime::ZERO), DatapathId::new(dpid), &flow_mod(a, b));
+        sphinx.on_flow_mod(
+            &mut h.ctx(SimTime::ZERO),
+            DatapathId::new(dpid),
+            &flow_mod(a, b),
+        );
     }
     let key = sphinx::FlowKey { src: a, dst: b };
     assert_eq!(sphinx.flows[&key].waypoints.len(), 3);
@@ -50,14 +54,30 @@ fn consistent_counters_stay_silent_divergent_counters_alert() {
     let (a, b) = (MacAddr::from_index(1), MacAddr::from_index(2));
 
     // Both switches report roughly equal byte counts: fine.
-    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(1)), DatapathId::new(1), &stats(a, b, 10_000));
-    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(1)), DatapathId::new(2), &stats(a, b, 9_500));
+    sphinx.on_flow_stats(
+        &mut h.ctx(SimTime::from_secs(1)),
+        DatapathId::new(1),
+        &stats(a, b, 10_000),
+    );
+    sphinx.on_flow_stats(
+        &mut h.ctx(SimTime::from_secs(1)),
+        DatapathId::new(2),
+        &stats(a, b, 9_500),
+    );
     assert!(h.alerts.is_empty());
 
     // Switch 2 stops seeing traffic (a drop/black-hole): alerts on every
     // polling round that still shows the divergence.
-    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(3)), DatapathId::new(1), &stats(a, b, 50_000));
-    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(3)), DatapathId::new(2), &stats(a, b, 9_600));
+    sphinx.on_flow_stats(
+        &mut h.ctx(SimTime::from_secs(3)),
+        DatapathId::new(1),
+        &stats(a, b, 50_000),
+    );
+    sphinx.on_flow_stats(
+        &mut h.ctx(SimTime::from_secs(3)),
+        DatapathId::new(2),
+        &stats(a, b, 9_600),
+    );
     assert!(h.alerts.count(AlertKind::FlowInconsistency) >= 1);
 }
 
@@ -66,8 +86,16 @@ fn low_volume_flows_are_not_judged() {
     let mut h = ModuleHarness::new();
     let mut sphinx = Sphinx::new(SphinxConfig::default());
     let (a, b) = (MacAddr::from_index(1), MacAddr::from_index(2));
-    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(1)), DatapathId::new(1), &stats(a, b, 400));
-    sphinx.on_flow_stats(&mut h.ctx(SimTime::from_secs(1)), DatapathId::new(2), &stats(a, b, 10));
+    sphinx.on_flow_stats(
+        &mut h.ctx(SimTime::from_secs(1)),
+        DatapathId::new(1),
+        &stats(a, b, 400),
+    );
+    sphinx.on_flow_stats(
+        &mut h.ctx(SimTime::from_secs(1)),
+        DatapathId::new(2),
+        &stats(a, b, 10),
+    );
     assert!(h.alerts.is_empty(), "below counter_min_bytes");
 }
 
@@ -106,12 +134,25 @@ fn slow_moves_outside_window_do_not_oscillate() {
     let mut h = ModuleHarness::new();
     let mut sphinx = Sphinx::new(SphinxConfig::default());
     let mac = MacAddr::from_index(3);
-    for (i, (from, to)) in [(sp(1, 1), sp(2, 1)), (sp(2, 1), sp(1, 1)), (sp(1, 1), sp(2, 1))]
-        .into_iter()
-        .enumerate()
+    for (i, (from, to)) in [
+        (sp(1, 1), sp(2, 1)),
+        (sp(2, 1), sp(1, 1)),
+        (sp(1, 1), sp(2, 1)),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let at = SimTime::from_secs(i as u64 * 60);
-        sphinx.on_host_move(&mut h.ctx(at), &HostMove { mac, ip: None, from, to, at });
+        sphinx.on_host_move(
+            &mut h.ctx(at),
+            &HostMove {
+                mac,
+                ip: None,
+                from,
+                to,
+                at,
+            },
+        );
     }
     assert!(h.alerts.is_empty(), "minutes apart is normal churn");
 }
@@ -141,6 +182,11 @@ fn reverse_direction_is_not_a_change() {
     let mut sphinx = Sphinx::new(SphinxConfig::default());
     let fwd = DirectedLink::new(sp(1, 1), sp(2, 1));
     sphinx.on_link_update(&mut h.ctx(SimTime::from_secs(1)), fwd, true, None);
-    sphinx.on_link_update(&mut h.ctx(SimTime::from_secs(1)), fwd.reversed(), true, None);
+    sphinx.on_link_update(
+        &mut h.ctx(SimTime::from_secs(1)),
+        fwd.reversed(),
+        true,
+        None,
+    );
     assert!(h.alerts.is_empty(), "a link's two directions are one link");
 }

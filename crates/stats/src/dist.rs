@@ -4,7 +4,7 @@
 //! the approved dependency list. Normal variates use the Marsaglia polar
 //! method; the rest are standard transforms.
 
-use rand::Rng;
+use tm_rand::Rng;
 
 /// A distribution that can produce `f64` samples from an RNG.
 pub trait Distribution {
@@ -34,7 +34,10 @@ impl Normal {
     /// # Panics
     /// Panics if `sd` is negative or either parameter is not finite.
     pub fn new(mean: f64, sd: f64) -> Self {
-        assert!(mean.is_finite() && sd.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && sd.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sd >= 0.0, "standard deviation must be non-negative");
         Normal { mean, sd }
     }
@@ -76,7 +79,10 @@ impl LogNormal {
     /// # Panics
     /// Panics if `sigma` is negative or either parameter is not finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         LogNormal { mu, sigma }
     }
@@ -159,7 +165,11 @@ impl ShiftedPareto {
     pub fn new(floor: f64, scale: f64, shape: f64) -> Self {
         assert!(scale > 0.0, "scale must be positive");
         assert!(shape > 0.0, "shape must be positive");
-        ShiftedPareto { floor, scale, shape }
+        ShiftedPareto {
+            floor,
+            scale,
+            shape,
+        }
     }
 }
 
@@ -200,8 +210,7 @@ impl Distribution for UniformRange {
 mod tests {
     use super::*;
     use crate::summary::Summary;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tm_rand::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xfeed)
@@ -261,6 +270,29 @@ mod tests {
         let a = Normal::new(0.0, 1.0).sample_n(&mut rng(), 10);
         let b = Normal::new(0.0, 1.0).sample_n(&mut rng(), 10);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forked_streams_sample_independently_with_correct_stats() {
+        // Per-host RNGs are forked/streamed off one engine seed; each
+        // stream must be a statistically sound source on its own and
+        // decorrelated from its siblings.
+        let root = rng();
+        let d = Normal::new(0.0, 1.0);
+        let mut sets = Vec::new();
+        for id in 0..3u64 {
+            let mut stream = root.stream(id);
+            let samples = d.sample_n(&mut stream, 10_000);
+            let s = Summary::of(&samples);
+            assert!(s.mean.abs() < 0.05, "stream {id}: mean {}", s.mean);
+            assert!((s.sd - 1.0).abs() < 0.05, "stream {id}: sd {}", s.sd);
+            sets.push(samples);
+        }
+        assert_ne!(sets[0], sets[1]);
+        assert_ne!(sets[1], sets[2]);
+        // A forked child must also differ from every stream.
+        let child = d.sample_n(&mut rng().fork(), 10_000);
+        assert_ne!(child, sets[0]);
     }
 
     #[test]

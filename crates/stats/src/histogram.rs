@@ -1,13 +1,11 @@
 //! Fixed-bin histograms with a text renderer, used to regenerate the
 //! paper's distribution figures in terminal output.
 
-use serde::{Deserialize, Serialize};
-
 use crate::summary::Summary;
 
 /// A histogram over `[low, high)` with equal-width bins, plus underflow and
 /// overflow counters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     low: f64,
     high: f64,
@@ -98,7 +96,10 @@ impl Histogram {
         let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         if self.underflow > 0 {
-            out.push_str(&format!("  < {:>8.2} {unit} | {}\n", self.low, self.underflow));
+            out.push_str(&format!(
+                "  < {:>8.2} {unit} | {}\n",
+                self.low, self.underflow
+            ));
         }
         for (idx, &count) in self.bins.iter().enumerate() {
             let (start, end) = self.bin_range(idx);
@@ -109,7 +110,10 @@ impl Histogram {
             ));
         }
         if self.overflow > 0 {
-            out.push_str(&format!(" >= {:>8.2} {unit} | {}\n", self.high, self.overflow));
+            out.push_str(&format!(
+                " >= {:>8.2} {unit} | {}\n",
+                self.high, self.overflow
+            ));
         }
         let s = self.summary();
         out.push_str(&format!(

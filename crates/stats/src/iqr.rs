@@ -10,12 +10,10 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::quantile::quantile_sorted;
 
 /// The verdict for one inspected sample.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum IqrVerdict {
     /// Not enough history to judge; the sample was admitted to the store.
     Warmup,
@@ -30,7 +28,7 @@ pub enum IqrVerdict {
 }
 
 /// A sliding-window IQR outlier detector.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IqrOutlierDetector {
     window: VecDeque<f64>,
     capacity: usize,
@@ -183,7 +181,10 @@ mod tests {
         }
         let steady = det.threshold().expect("steady state");
         assert!(steady < bootstrapped);
-        assert!(steady < 10.0, "threshold should converge near 5 ms, got {steady}");
+        assert!(
+            steady < 10.0,
+            "threshold should converge near 5 ms, got {steady}"
+        );
     }
 
     #[test]

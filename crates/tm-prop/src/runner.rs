@@ -1,0 +1,240 @@
+//! The property runner: seeded case generation, failure capture, greedy
+//! shrinking, and reproducible failure reports.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use tm_rand::StdRng;
+
+use crate::strategy::Strategy;
+use crate::tree::Tree;
+
+/// The fixed default seed. Every property run is deterministic: same
+/// binary, same seed, same cases — failures reproduce byte-for-byte on
+/// any machine. Override per-run with `TM_PROP_SEED`.
+pub const DEFAULT_SEED: u64 = 0x746d_7072_6f70_2131; // "tmprop!1"
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Cases to generate per property.
+    pub cases: u32,
+    /// Base seed for case generation.
+    pub seed: u64,
+    /// Upper bound on shrink candidates evaluated after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            seed: DEFAULT_SEED,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+thread_local! {
+    /// Set while probing a candidate input, so expected panics stay quiet.
+    static PROBING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses output for
+/// panics raised while this thread is probing a candidate input.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default_hook = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !PROBING.with(|p| p.get()) {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// Runs `test` against the candidate value, capturing any panic message.
+fn probe<V, F: Fn(&V)>(test: &F, value: &V) -> Result<(), String> {
+    PROBING.with(|p| p.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| test(value)));
+    PROBING.with(|p| p.set(false));
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Greedily walks the shrink tree: repeatedly descends into the first
+/// child that still fails, until no child fails or the budget runs out.
+fn shrink<V: Clone + 'static, F: Fn(&V)>(
+    mut current: Tree<V>,
+    test: &F,
+    budget: u32,
+) -> (V, String) {
+    let mut message =
+        probe(test, current.value()).expect_err("shrink must start from a failing input");
+    let mut spent = 0u32;
+    'descend: loop {
+        for child in current.children() {
+            if spent >= budget {
+                break 'descend;
+            }
+            spent += 1;
+            if let Err(msg) = probe(test, child.value()) {
+                message = msg;
+                current = child;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current.value().clone(), message)
+}
+
+/// Runs a named property: generates `config.cases` inputs from the seeded
+/// strategy and applies `test` to each. On failure, shrinks greedily and
+/// panics with a reproducible report (seed, case index, original and
+/// shrunk inputs, and the assertion message).
+pub fn run_named<S: Strategy>(name: &str, config: &Config, strategy: &S, test: impl Fn(&S::Value)) {
+    install_quiet_hook();
+
+    let seed = match std::env::var("TM_PROP_SEED") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("bad TM_PROP_SEED: {v}")),
+        Err(_) => config.seed,
+    };
+    let cases = match std::env::var("TM_PROP_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("bad TM_PROP_CASES: {v}")),
+        Err(_) => config.cases,
+    };
+    let only_case: Option<u32> = std::env::var("TM_PROP_CASE").ok().map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("bad TM_PROP_CASE: {v}"))
+    });
+
+    // Each case draws from an independent stream of the base seed, so a
+    // single (seed, case) pair pins down the input exactly, regardless of
+    // how many cases ran before it.
+    let root = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        if let Some(only) = only_case {
+            if case != only {
+                continue;
+            }
+        }
+        // The property name participates in stream selection so sibling
+        // properties in one file don't all see the same inputs.
+        let mut rng = root.stream(u64::from(case)).stream(fnv1a(name.as_bytes()));
+        let tree = strategy.new_tree(&mut rng);
+        if probe(&test, tree.value()).is_err() {
+            let original = format!("{:?}", tree.value());
+            let (shrunk, message) = shrink(tree, &test, config.max_shrink_iters);
+            panic!(
+                "tm-prop: property `{name}` failed\n\
+                 \x20 seed: {seed} / case {case} of {cases}\n\
+                 \x20 reproduce with: TM_PROP_SEED={seed} TM_PROP_CASE={case} cargo test {short}\n\
+                 \x20 original input: {original}\n\
+                 \x20 shrunk input:   {shrunk:?}\n\
+                 \x20 assertion: {message}",
+                short = name.rsplit("::").next().unwrap_or(name),
+            );
+        }
+    }
+}
+
+/// FNV-1a over bytes: a tiny, stable string hash for stream selection.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let config = Config::default();
+        run_named("passing", &config, &(any::<u32>(),), |&(x,)| {
+            prop_assert!(u64::from(x) <= u64::from(u32::MAX));
+        });
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let config = Config::default();
+        let outcome = std::panic::catch_unwind(|| {
+            run_named("failing", &config, &(0u32..1000,), |&(x,)| {
+                prop_assert!(x < 500, "x was {x}");
+            });
+        });
+        let message = match outcome {
+            Err(payload) => panic_message(payload.as_ref()),
+            Ok(()) => panic!("property must fail"),
+        };
+        assert!(
+            message.contains("TM_PROP_SEED="),
+            "no repro line: {message}"
+        );
+        assert!(message.contains("shrunk input"), "no shrink: {message}");
+        // Greedy shrink on x >= 500 must land exactly on the boundary.
+        assert!(message.contains("(500,)"), "not minimal: {message}");
+    }
+
+    #[test]
+    fn same_seed_generates_same_inputs() {
+        let collect = || {
+            let mut seen = Vec::new();
+            let config = Config {
+                cases: 16,
+                ..Config::default()
+            };
+            // Capture inputs via a side channel.
+            let cell = std::cell::RefCell::new(Vec::new());
+            run_named("collect", &config, &(any::<u64>(),), |&(x,)| {
+                cell.borrow_mut().push(x);
+            });
+            seen.extend(cell.into_inner());
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn shrinking_composes_through_map_and_vec() {
+        let strategy = collection::vec((0u32..100).prop_map(|x| x * 2), 0..20);
+        let config = Config::default();
+        let outcome = std::panic::catch_unwind(|| {
+            run_named("mapvec", &config, &(strategy,), |&(ref xs,)| {
+                let total: u32 = xs.iter().sum();
+                prop_assert!(total < 40, "sum {total}");
+            });
+        });
+        let message = match outcome {
+            Err(payload) => panic_message(payload.as_ref()),
+            Ok(()) => panic!("property must fail"),
+        };
+        // The minimal counterexample is a single element summing >= 40:
+        // one even value in [40, 41] — i.e. exactly [40].
+        assert!(message.contains("shrunk input:   ([40],)"), "{message}");
+    }
+}

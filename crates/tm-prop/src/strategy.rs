@@ -1,0 +1,290 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces a shrink [`Tree`] from a seeded RNG. The
+//! built-in strategies mirror the `proptest` surface the workspace's
+//! suites were written against: integer range literals (`0u16..8`,
+//! `1u8..=255`), [`any`], tuples, [`collection::vec`], [`option::of`],
+//! [`Just`], [`Strategy::prop_map`], and [`one_of`] (via the
+//! [`prop_oneof!`](crate::prop_oneof) macro).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use tm_rand::{Rng, StdRng};
+
+use crate::tree::{int_tree, pair_tree, Tree};
+
+/// Generates values (with shrink structure) from a seeded RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug + 'static;
+
+    /// Generates one value together with its shrink tree.
+    fn new_tree(&self, rng: &mut StdRng) -> Tree<Self::Value>;
+
+    /// Maps generated values through `f`; shrinking happens on the
+    /// pre-image, so mapped strategies shrink for free.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Type-erases the strategy so differently-typed strategies producing
+    /// the same value type can be mixed (the `prop_oneof!` building block).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F: ?Sized> {
+    inner: S,
+    f: Rc<F>,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug + 'static,
+    F: Fn(S::Value) -> U + 'static,
+{
+    type Value = U;
+
+    fn new_tree(&self, rng: &mut StdRng) -> Tree<U> {
+        let f = Rc::clone(&self.f);
+        self.inner
+            .new_tree(rng)
+            .map(Rc::new(move |v: &S::Value| f(v.clone())))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_new_tree(&self, rng: &mut StdRng) -> Tree<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_tree(&self, rng: &mut StdRng) -> Tree<S::Value> {
+        self.new_tree(rng)
+    }
+}
+
+impl<T: Clone + Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_tree(&self, rng: &mut StdRng) -> Tree<T> {
+        self.0.dyn_new_tree(rng)
+    }
+}
+
+/// Chooses uniformly among the given strategies per generated case.
+pub fn one_of<T: Clone + Debug + 'static>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+    assert!(!arms.is_empty(), "one_of requires at least one strategy");
+    Union { arms }
+}
+
+/// The result of [`one_of`].
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Clone + Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_tree(&self, rng: &mut StdRng) -> Tree<T> {
+        let idx = rng.gen_range(0usize..self.arms.len());
+        self.arms[idx].new_tree(rng)
+    }
+}
+
+/// Always produces the given value (never shrinks).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_tree(&self, _rng: &mut StdRng) -> Tree<T> {
+        Tree::leaf(self.0.clone())
+    }
+}
+
+// ---------- integer ranges ----------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, rng: &mut StdRng) -> Tree<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let x = rng.gen_range(self.start..self.end);
+                int_tree(self.start as i128, x as i128, |v| v as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, rng: &mut StdRng) -> Tree<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let x = rng.gen_range((lo as u128)..(hi as u128) + 1) as $t;
+                int_tree(lo as i128, x as i128, |v| v as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+// ---------- any::<T>() ----------
+
+/// Types generatable over their full domain by [`any`].
+pub trait Arbitrary: Clone + Debug + 'static {
+    /// Generates an unconstrained shrink tree.
+    fn arbitrary_tree(rng: &mut StdRng) -> Tree<Self>;
+}
+
+/// Produces any value of `T`, shrinking toward a canonical origin
+/// (`0`/`false`/zeroed bytes).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The result of [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_tree(&self, rng: &mut StdRng) -> Tree<T> {
+        T::arbitrary_tree(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_tree(rng: &mut StdRng) -> Tree<$t> {
+                let x = rng.next_u64() as $t;
+                int_tree(0, x as i128, |v| v as $t)
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary_tree(rng: &mut StdRng) -> Tree<bool> {
+        if rng.gen::<bool>() {
+            Tree::with_children(true, || vec![Tree::leaf(false)])
+        } else {
+            Tree::leaf(false)
+        }
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary_tree(rng: &mut StdRng) -> Tree<[u8; N]> {
+        let mut bytes = [0u8; N];
+        rng.fill_bytes(&mut bytes);
+        byte_array_tree(bytes)
+    }
+}
+
+fn byte_array_tree<const N: usize>(bytes: [u8; N]) -> Tree<[u8; N]> {
+    Tree::with_children(bytes, move || {
+        let mut out = Vec::new();
+        if bytes.iter().any(|&b| b != 0) {
+            out.push(Tree::leaf([0u8; N]));
+            for i in 0..N {
+                if bytes[i] != 0 {
+                    let mut smaller = bytes;
+                    smaller[i] /= 2;
+                    out.push(byte_array_tree(smaller));
+                }
+            }
+        }
+        out
+    })
+}
+
+// ---------- tuples ----------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident $v:ident),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_tree(&self, rng: &mut StdRng) -> Tree<Self::Value> {
+                let ($($S,)+) = self;
+                $(let $v = $S.new_tree(rng);)+
+                // Fold into nested pairs, then flatten with map so the
+                // component shrink structure is preserved.
+                impl_tuple_strategy!(@fold $($v),+)
+            }
+        }
+    )*};
+    (@fold $a:ident) => {
+        $a.map(Rc::new(|v| (v.clone(),)))
+    };
+    (@fold $a:ident, $($rest:ident),+) => {{
+        let nested = impl_tuple_strategy!(@nest $a, $($rest),+);
+        nested.map(Rc::new(|v| impl_tuple_strategy!(@flatten v, $a, $($rest),+)))
+    }};
+    (@nest $a:ident) => { $a };
+    (@nest $a:ident, $($rest:ident),+) => {
+        pair_tree($a, impl_tuple_strategy!(@nest $($rest),+))
+    };
+    (@flatten $v:ident, $($name:ident),+) => {{
+        impl_tuple_strategy!(@destructure $v; (); $($name),+)
+    }};
+    (@destructure $v:ident; ($($done:ident),*); $last:ident) => {{
+        let $last = $v;
+        ($($done.clone(),)* $last.clone(),)
+    }};
+    (@destructure $v:ident; ($($done:ident),*); $head:ident, $($rest:ident),+) => {{
+        let ($head, $v) = $v;
+        impl_tuple_strategy!(@destructure $v; ($($done,)* $head); $($rest),+)
+    }};
+}
+
+impl_tuple_strategy! {
+    (A a)
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+    (A a, B b, C c, D d, E e, F f, G g)
+    (A a, B b, C c, D d, E e, F f, G g, H h)
+    (A a, B b, C c, D d, E e, F f, G g, H h, I i)
+}

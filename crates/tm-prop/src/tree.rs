@@ -1,0 +1,193 @@
+//! Lazily-expanded shrink trees (Hedgehog-style).
+//!
+//! A [`Tree`] is a generated value plus a *lazy* list of smaller candidate
+//! trees. Laziness matters: eager shrink trees are exponentially large,
+//! while a lazy tree only materializes the children actually visited by
+//! the greedy shrink walk. Because shrinking lives in the tree (not in the
+//! strategy), it composes automatically through `prop_map`, tuples,
+//! vectors, and `one_of` — mapped values shrink by shrinking their
+//! pre-image.
+
+use std::rc::Rc;
+
+/// A generated value together with its lazily-computed shrink candidates,
+/// ordered most-aggressive first.
+pub struct Tree<T> {
+    value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T> Clone for Tree<T>
+where
+    T: Clone,
+{
+    fn clone(&self) -> Self {
+        Tree {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A tree with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Tree {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A tree whose candidates are produced on demand by `children`.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Tree {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// The generated value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Materializes the immediate shrink candidates.
+    pub fn children(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Maps the whole tree through `f`, preserving the shrink structure.
+    pub fn map<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let source = self.clone();
+        Tree {
+            value,
+            children: Rc::new(move || {
+                let f = Rc::clone(&f);
+                source
+                    .children()
+                    .iter()
+                    .map(|t| t.map(Rc::clone(&f)))
+                    .collect()
+            }),
+        }
+    }
+}
+
+/// Builds a shrink tree for an integer-like value `x` that shrinks toward
+/// `origin`: first the origin itself, then binary steps closing the gap.
+///
+/// Arithmetic runs in `i128`, wide enough for every integer type the
+/// strategies expose (`u64` fits; `u128` strategies clamp their span).
+pub fn int_tree<T>(origin: i128, x: i128, back: fn(i128) -> T) -> Tree<T>
+where
+    T: Clone + 'static,
+{
+    let value = back(x);
+    Tree::with_children(value, move || {
+        let mut out = Vec::new();
+        if x != origin {
+            out.push(int_tree(origin, origin, back));
+            let mut delta = (x - origin) / 2;
+            while delta != 0 {
+                let candidate = x - delta;
+                if candidate != origin {
+                    out.push(int_tree(origin, candidate, back));
+                }
+                delta /= 2;
+            }
+        }
+        out
+    })
+}
+
+/// Combines two trees into a pair tree; the pair shrinks by shrinking the
+/// left component first, then the right.
+pub fn pair_tree<A, B>(a: Tree<A>, b: Tree<B>) -> Tree<(A, B)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let value = (a.value().clone(), b.value().clone());
+    Tree::with_children(value, move || {
+        let mut out = Vec::new();
+        for ash in a.children() {
+            out.push(pair_tree(ash, b.clone()));
+        }
+        for bsh in b.children() {
+            out.push(pair_tree(a.clone(), bsh));
+        }
+        out
+    })
+}
+
+/// Combines element trees into a vector tree. Shrinks first by deleting
+/// elements (down to `min_len`), then element-wise.
+pub fn vec_tree<T>(min_len: usize, elems: Vec<Tree<T>>) -> Tree<Vec<T>>
+where
+    T: Clone + 'static,
+{
+    let value: Vec<T> = elems.iter().map(|t| t.value().clone()).collect();
+    Tree::with_children(value, move || {
+        let mut out = Vec::new();
+        let n = elems.len();
+        // Delete a whole suffix first (fast length reduction), then single
+        // elements, then shrink elements in place.
+        if n > min_len {
+            let half = (n + min_len) / 2;
+            if half < n {
+                out.push(vec_tree(min_len, elems[..half].to_vec()));
+            }
+            for i in (0..n).rev() {
+                let mut fewer = elems.clone();
+                fewer.remove(i);
+                out.push(vec_tree(min_len, fewer));
+            }
+        }
+        for (i, elem) in elems.iter().enumerate() {
+            for shrunk in elem.children() {
+                let mut smaller = elems.clone();
+                smaller[i] = shrunk;
+                out.push(vec_tree(min_len, smaller));
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_tree_shrinks_toward_origin() {
+        let t = int_tree(0, 100, |x| x as u32);
+        assert_eq!(*t.value(), 100);
+        let kids = t.children();
+        assert_eq!(*kids[0].value(), 0, "origin first");
+        assert!(kids.iter().all(|k| *k.value() < 100));
+    }
+
+    #[test]
+    fn pair_tree_shrinks_componentwise() {
+        let t = pair_tree(int_tree(0, 4, |x| x as u8), int_tree(0, 2, |x| x as u8));
+        assert_eq!(*t.value(), (4, 2));
+        let values: Vec<(u8, u8)> = t.children().iter().map(|k| *k.value()).collect();
+        assert!(values.contains(&(0, 2)));
+        assert!(values.contains(&(4, 0)));
+    }
+
+    #[test]
+    fn vec_tree_respects_min_len() {
+        let elems = vec![int_tree(0, 1, |x| x as u8); 3];
+        let t = vec_tree(2, elems);
+        assert!(t.children().iter().all(|k| k.value().len() >= 2));
+    }
+
+    #[test]
+    fn map_preserves_shrinks() {
+        let t = int_tree(0, 10, |x| x as u32).map(Rc::new(|x: &u32| x * 2));
+        assert_eq!(*t.value(), 20);
+        assert_eq!(*t.children()[0].value(), 0);
+    }
+}

@@ -149,7 +149,11 @@ mod tests {
         );
         assert_eq!(binding.blocked, 1);
         assert_eq!(h.alerts.len(), 1);
-        assert_eq!(binding.binding_of(&mac), Some(sp(1, 2)), "binding unchanged");
+        assert_eq!(
+            binding.binding_of(&mac),
+            Some(sp(1, 2)),
+            "binding unchanged"
+        );
     }
 
     #[test]

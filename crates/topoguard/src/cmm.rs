@@ -95,8 +95,7 @@ impl DefenseModule for Cmm {
     }
 
     fn on_lldp_emit(&mut self, cx: &mut ModuleCtx<'_>, dpid: DatapathId, port: PortNo) {
-        self.in_flight
-            .insert(SwitchPort::new(dpid, port), cx.now);
+        self.in_flight.insert(SwitchPort::new(dpid, port), cx.now);
     }
 
     fn on_lldp_receive(&mut self, cx: &mut ModuleCtx<'_>, ev: &LldpReceive<'_>) -> Command {
@@ -107,7 +106,9 @@ impl DefenseModule for Cmm {
             // Unknown probe (e.g. relayed from a stale capture): use a
             // conservative window of one probe TTL.
             None => SimTime::from_nanos(
-                cx.now.as_nanos().saturating_sub(self.config.probe_ttl.as_nanos()),
+                cx.now
+                    .as_nanos()
+                    .saturating_sub(self.config.probe_ttl.as_nanos()),
             ),
         };
 
@@ -166,8 +167,10 @@ impl DefenseModule for Cmm {
 
     fn on_tick(&mut self, cx: &mut ModuleCtx<'_>) {
         let now = cx.now;
-        let probe_cutoff =
-            SimTime::from_nanos(now.as_nanos().saturating_sub(self.config.probe_ttl.as_nanos()));
+        let probe_cutoff = SimTime::from_nanos(
+            now.as_nanos()
+                .saturating_sub(self.config.probe_ttl.as_nanos()),
+        );
         self.in_flight.retain(|_, at| *at >= probe_cutoff);
         let event_cutoff = SimTime::from_nanos(
             now.as_nanos()

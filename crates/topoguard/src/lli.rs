@@ -9,10 +9,9 @@
 
 use std::any::Any;
 
-use controller::{Alert, AlertKind, Command, DefenseModule, LinkLatencySample, ModuleCtx};
 use controller::DirectedLink;
+use controller::{Alert, AlertKind, Command, DefenseModule, LinkLatencySample, ModuleCtx};
 use sdn_types::SimTime;
-use serde::{Deserialize, Serialize};
 use tm_stats::{IqrOutlierDetector, IqrVerdict};
 
 /// LLI configuration.
@@ -42,7 +41,7 @@ impl Default for LliConfig {
 }
 
 /// One recorded latency inspection, for regenerating Figs. 10 and 11.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LliObservation {
     /// When the measurement completed.
     pub at: SimTime,

@@ -9,12 +9,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use sdn_types::{SimTime, SwitchPort};
 
 /// The behavioral class of a switch port.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PortType {
     /// Unknown — the initial state, and the state after a Port-Down.
     #[default]
@@ -26,7 +24,7 @@ pub enum PortType {
 }
 
 /// Per-port profile record.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PortProfile {
     /// Current classification.
     pub port_type: PortType,

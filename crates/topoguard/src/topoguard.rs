@@ -110,9 +110,11 @@ impl DefenseModule for TopoGuard {
 
         // Post-condition monitoring: an answer from a checked old location
         // means the "migrated" host is still reachable there.
-        if let Some(idx) = self.pending_checks.iter().position(|c| {
-            c.old_location == port && c.mac == ev.frame.src && cx.now <= c.deadline
-        }) {
+        if let Some(idx) = self
+            .pending_checks
+            .iter()
+            .position(|c| c.old_location == port && c.mac == ev.frame.src && cx.now <= c.deadline)
+        {
             let check = self.pending_checks.remove(idx);
             self.alert(
                 cx,
@@ -149,7 +151,10 @@ impl DefenseModule for TopoGuard {
             self.alert(
                 cx,
                 AlertKind::TrafficFromSwitchPort,
-                format!("first-hop traffic from SWITCH port {port} (src {})", ev.frame.src),
+                format!(
+                    "first-hop traffic from SWITCH port {port} (src {})",
+                    ev.frame.src
+                ),
             );
         }
         Command::Continue
@@ -245,7 +250,11 @@ impl DefenseModule for TopoGuard {
         self.probe_seq = self.probe_seq.wrapping_add(1);
         let target_ip = mv
             .ip
-            .or_else(|| cx.devices.get(&mv.mac).and_then(|d| d.ips.iter().next().copied()))
+            .or_else(|| {
+                cx.devices
+                    .get(&mv.mac)
+                    .and_then(|d| d.ips.iter().next().copied())
+            })
             .unwrap_or(IpAddr::UNSPECIFIED);
         let probe = EthernetFrame::new(
             PROBE_SRC_MAC,

@@ -82,7 +82,13 @@ fn topoguard_blocks_lldp_at_host_port_and_amnesia_clears_it() {
 
     // LLDP arriving at the HOST port: alert + block.
     let lldp = LldpPacket::new(DatapathId::new(1), PortNo::new(1));
-    let ev = lldp_receive(&lldp, sp(1, 1), attacker_port, SimTime::from_millis(1020), None);
+    let ev = lldp_receive(
+        &lldp,
+        sp(1, 1),
+        attacker_port,
+        SimTime::from_millis(1020),
+        None,
+    );
     let verdict = tg.on_lldp_receive(&mut h.ctx(SimTime::from_millis(1020)), &ev);
     assert_eq!(verdict, Command::Block);
     assert_eq!(h.alerts.count(AlertKind::LinkFabrication), 1);
@@ -97,10 +103,20 @@ fn topoguard_blocks_lldp_at_host_port_and_amnesia_clears_it() {
     );
 
     // ...and the same LLDP now passes without any alert.
-    let ev = lldp_receive(&lldp, sp(1, 1), attacker_port, SimTime::from_millis(1040), None);
+    let ev = lldp_receive(
+        &lldp,
+        sp(1, 1),
+        attacker_port,
+        SimTime::from_millis(1040),
+        None,
+    );
     let verdict = tg.on_lldp_receive(&mut h.ctx(SimTime::from_millis(1040)), &ev);
     assert_eq!(verdict, Command::Continue);
-    assert_eq!(h.alerts.count(AlertKind::LinkFabrication), 1, "no new alert");
+    assert_eq!(
+        h.alerts.count(AlertKind::LinkFabrication),
+        1,
+        "no new alert"
+    );
 }
 
 #[test]
@@ -108,7 +124,13 @@ fn topoguard_rejects_invalid_signatures() {
     let mut h = ModuleHarness::new();
     let mut tg = TopoGuard::new(TopoGuardConfig::default());
     let lldp = LldpPacket::new(DatapathId::new(1), PortNo::new(1));
-    let ev = lldp_receive(&lldp, sp(1, 1), sp(2, 1), SimTime::from_millis(5), Some(false));
+    let ev = lldp_receive(
+        &lldp,
+        sp(1, 1),
+        sp(2, 1),
+        SimTime::from_millis(5),
+        Some(false),
+    );
     assert_eq!(
         tg.on_lldp_receive(&mut h.ctx(SimTime::from_millis(5)), &ev),
         Command::Block
@@ -161,7 +183,12 @@ fn topoguard_postcondition_flags_still_reachable_host() {
     let mac = MacAddr::from_index(5);
     h.devices.commit(mac, None, sp(1, 2), SimTime::ZERO);
     let (dpid, desc) = port_status(false, sp(1, 2));
-    tg.on_port_status(&mut h.ctx(SimTime::from_secs(1)), dpid, &desc, PortStatusReason::Modify);
+    tg.on_port_status(
+        &mut h.ctx(SimTime::from_secs(1)),
+        dpid,
+        &desc,
+        PortStatusReason::Modify,
+    );
     let mv = HostMove {
         mac,
         ip: None,
@@ -305,7 +332,12 @@ fn lli_flags_and_blocks_anomalous_latency() {
     assert!(lli.threshold_ms().expect("past warmup") < 8.0);
 
     // A relayed link shows up at ~21 ms.
-    let v = lli.on_link_update(&mut h.ctx(SimTime::from_secs(60)), link, false, sample(21.0));
+    let v = lli.on_link_update(
+        &mut h.ctx(SimTime::from_secs(60)),
+        link,
+        false,
+        sample(21.0),
+    );
     assert_eq!(v, Command::Block);
     assert_eq!(h.alerts.count(AlertKind::AbnormalLinkLatency), 1);
     assert!(h.alerts.all()[0].detail.contains("delay:21ms"));

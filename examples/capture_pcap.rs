@@ -26,8 +26,14 @@ fn main() {
         start_after: Duration::from_secs(5),
         ..RelayConfig::oob(peer)
     };
-    spec.set_host_app(ids.attacker_a, Box::new(OobRelayAttacker::new(relay(ids.attacker_b))));
-    spec.set_host_app(ids.attacker_b, Box::new(OobRelayAttacker::new(relay(ids.attacker_a))));
+    spec.set_host_app(
+        ids.attacker_a,
+        Box::new(OobRelayAttacker::new(relay(ids.attacker_b))),
+    );
+    spec.set_host_app(
+        ids.attacker_b,
+        Box::new(OobRelayAttacker::new(relay(ids.attacker_a))),
+    );
     spec.set_host_app(
         ids.h1,
         Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
@@ -41,7 +47,9 @@ fn main() {
     let recorder: &FrameRecorder = sim.host_app_as(ids.h2).expect("tap installed");
     let path = "target/port_amnesia.pcap";
     let mut writer = PcapWriter::create(path).expect("create pcap");
-    writer.write_all_frames(&recorder.frames).expect("write frames");
+    writer
+        .write_all_frames(&recorder.frames)
+        .expect("write frames");
     let written = writer.frames_written();
     writer.finish().expect("flush");
 

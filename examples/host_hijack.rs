@@ -14,7 +14,10 @@ fn main() {
 
     let out = hijack::run(&HijackScenario::new(DefenseStack::TopoGuardSphinx, 7));
 
-    println!("timeline (relative to victim going down at {}):", out.victim_down_at);
+    println!(
+        "timeline (relative to victim going down at {}):",
+        out.victim_down_at
+    );
     if let Some(ms) = out.final_probe_start_delay_ms() {
         println!("  {ms:>8.2} ms  attacker's final ARP probe sent       (Fig. 7)");
     }
@@ -39,7 +42,10 @@ fn main() {
         "  client pings answered by the attacker: {}",
         out.client_pings_during_hijack
     );
-    println!("  defense alerts raised:                 {}", out.alerts_before_rejoin);
+    println!(
+        "  defense alerts raised:                 {}",
+        out.alerts_before_rejoin
+    );
     assert!(out.hijack_succeeded());
     assert!(out.undetected_before_rejoin());
     println!("  -> the hijack is indistinguishable from a legitimate migration.");

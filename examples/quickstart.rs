@@ -34,7 +34,10 @@ fn main() {
     // h1 pings h2 every 200 ms.
     spec.set_host_app(
         h1,
-        Box::new(PeriodicPinger::new(IpAddr::new(10, 0, 0, 2), Duration::from_millis(200))),
+        Box::new(PeriodicPinger::new(
+            IpAddr::new(10, 0, 0, 2),
+            Duration::from_millis(200),
+        )),
     );
 
     let mut sim = Simulator::new(spec, 42);

@@ -49,19 +49,26 @@ fn controller_recovers_from_port_flaps() {
     spec.add_switch(s2);
     let link = LinkProfile::fixed(Duration::from_millis(5));
     spec.link_switches(s1, PortNo::new(1), s2, PortNo::new(1), link);
-    spec.add_host(HostId::new(1), MacAddr::from_index(1), IpAddr::new(10, 0, 0, 1));
+    spec.add_host(
+        HostId::new(1),
+        MacAddr::from_index(1),
+        IpAddr::new(10, 0, 0, 1),
+    );
     spec.attach_host(HostId::new(1), s1, PortNo::new(2), link);
     // Full TOPOGUARD+ stack: the flaps must not produce fabrication alerts.
-    spec.set_controller(Box::new(
-        DefenseStack::TopoGuardPlus.build_controller(ControllerConfig {
+    spec.set_controller(Box::new(DefenseStack::TopoGuardPlus.build_controller(
+        ControllerConfig {
             profile: topomirage::controller::ControllerProfile::POX,
             ..ControllerConfig::default()
-        }),
-    ));
+        },
+    )));
     let mut sim = Simulator::new(spec, 17);
     sim.run_for(Duration::from_secs(6));
     assert_eq!(
-        sim.controller_as::<SdnController>().unwrap().topology().len(),
+        sim.controller_as::<SdnController>()
+            .unwrap()
+            .topology()
+            .len(),
         2
     );
 
@@ -76,7 +83,8 @@ fn controller_recovers_from_port_flaps() {
     assert_eq!(ctrl.topology().len(), 2, "links must be re-discovered");
     // A real port flap during quiet periods is not link fabrication.
     assert_eq!(
-        ctrl.alerts().count(topomirage::controller::AlertKind::LinkFabrication),
+        ctrl.alerts()
+            .count(topomirage::controller::AlertKind::LinkFabrication),
         0
     );
 }
@@ -90,18 +98,29 @@ fn link_expiry_under_lldp_loss_does_not_break_local_forwarding() {
     spec.add_switch(s1);
     let link = LinkProfile::fixed(Duration::from_millis(2));
     for i in 1..=2u32 {
-        spec.add_host(HostId::new(i), MacAddr::from_index(i), IpAddr::new(10, 0, 0, i as u8));
+        spec.add_host(
+            HostId::new(i),
+            MacAddr::from_index(i),
+            IpAddr::new(10, 0, 0, i as u8),
+        );
         spec.attach_host(HostId::new(i), s1, PortNo::new(i as u16), link);
     }
     spec.set_host_app(
         HostId::new(1),
-        Box::new(PeriodicPinger::new(IpAddr::new(10, 0, 0, 2), Duration::from_millis(100))),
+        Box::new(PeriodicPinger::new(
+            IpAddr::new(10, 0, 0, 2),
+            Duration::from_millis(100),
+        )),
     );
     spec.set_controller(Box::new(SdnController::new(ControllerConfig::default())));
     let mut sim = Simulator::new(spec, 23);
     sim.run_for(Duration::from_secs(5));
     let pinger: &PeriodicPinger = sim.host_app_as(HostId::new(1)).unwrap();
-    assert!(pinger.received > 40, "local forwarding works: {}", pinger.received);
+    assert!(
+        pinger.received > 40,
+        "local forwarding works: {}",
+        pinger.received
+    );
 }
 
 #[test]
