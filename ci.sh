@@ -5,6 +5,7 @@
 set -eux
 
 cargo fmt --check
+cargo clippy --offline --all-targets -- -D warnings
 cargo build --release --offline
 cargo test -q --offline
 cargo bench --no-run --offline

@@ -191,17 +191,13 @@ impl HostApp for PortProbingAttacker {
                 self.arping(ctx);
                 ctx.set_timer(Duration::from_millis(200), TIMER_ACQUIRE_RETRY);
             }
-            TIMER_ACQUIRE_RETRY => {
-                if self.phase == ProbingPhase::AcquireMac {
-                    self.arping(ctx);
-                    ctx.set_timer(Duration::from_millis(200), TIMER_ACQUIRE_RETRY);
-                }
+            TIMER_ACQUIRE_RETRY if self.phase == ProbingPhase::AcquireMac => {
+                self.arping(ctx);
+                ctx.set_timer(Duration::from_millis(200), TIMER_ACQUIRE_RETRY);
             }
-            TIMER_PROBE => {
-                if self.phase == ProbingPhase::Monitoring {
-                    self.send_probe(ctx);
-                    ctx.set_timer(self.config.probe_interval, TIMER_PROBE);
-                }
+            TIMER_PROBE if self.phase == ProbingPhase::Monitoring => {
+                self.send_probe(ctx);
+                ctx.set_timer(self.config.probe_interval, TIMER_PROBE);
             }
             id if id >= TIMER_TIMEOUT_BASE => {
                 if self.phase != ProbingPhase::Monitoring {

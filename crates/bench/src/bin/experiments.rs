@@ -7,7 +7,7 @@
 //! ```
 
 use bench::json::JsonValue;
-use bench::{ablation, figures, sweeps, tables};
+use bench::{ablation, figures, metrics, sweeps, tables};
 use tm_core::matrix;
 
 const SEED: u64 = 0xD5_2018;
@@ -42,7 +42,7 @@ fn usage() -> ! {
         "usage: experiments <id> [--trials N] [--seed N] [--json FILE]\n\
          ids: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13\n\
               matrix matrix_extended scan_detection alert_flood downtime ablations\n\
-              ablation_lli ablation_amnesia ablation_timeout all"
+              ablation_lli ablation_amnesia ablation_timeout metrics all"
     );
     std::process::exit(2);
 }
@@ -110,6 +110,7 @@ fn main() {
         "scan_detection" => println!("{}", sweeps::scan_detection()),
         "alert_flood" => println!("{}", sweeps::alert_flood(seed)),
         "downtime" => println!("{}", sweeps::downtime_windows(80.0)),
+        "metrics" => println!("{}", metrics::metrics_report(seed)),
         "ablation_lli" => println!("{}", ablation::lli_fence_sweep(seed)),
         "ablation_amnesia" => println!("{}", ablation::amnesia_hold_sweep(seed)),
         "ablation_timeout" => println!("{}", ablation::probe_timeout_sweep(seed)),
@@ -140,6 +141,7 @@ fn main() {
             println!("{}", ablation::lli_fence_sweep(seed));
             println!("{}", ablation::amnesia_hold_sweep(seed));
             println!("{}", ablation::probe_timeout_sweep(seed));
+            println!("{}", metrics::metrics_report(seed));
         }
         _ => usage(),
     }

@@ -13,5 +13,6 @@ pub mod ablation;
 pub mod figures;
 pub mod harness;
 pub mod json;
+pub mod metrics;
 pub mod sweeps;
 pub mod tables;

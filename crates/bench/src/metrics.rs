@@ -1,0 +1,165 @@
+//! Telemetry-snapshot export: renders a [`MetricsSnapshot`] as the same
+//! `BENCH_JSON`-prefixed machine-readable records the timing harness
+//! emits, so one log scraper collects both.
+//!
+//! Everything in a snapshot is derived from simulated time and seeded
+//! randomness, so the emitted records are **byte-identical across runs**
+//! for the same scenario and seed — the `metrics` experiment is usable as
+//! a determinism check from the command line (run it twice, `diff`).
+
+use tm_core::defense::DefenseStack;
+use tm_core::{hijack, linkfab};
+use tm_telemetry::MetricsSnapshot;
+
+use crate::json::JsonValue;
+
+/// Converts one snapshot into an insertion-ordered JSON record.
+///
+/// Counters and gauges become objects keyed by metric name (the snapshot
+/// is already sorted); each histogram carries its summary statistics and
+/// the per-bucket counts against the shared bucket ladder.
+pub fn snapshot_to_json(scenario: &str, seed: u64, snap: &MetricsSnapshot) -> JsonValue {
+    let counters = JsonValue::Object(
+        snap.counters
+            .iter()
+            .map(|(name, v)| (name.clone(), (*v).into()))
+            .collect(),
+    );
+    let gauges = JsonValue::Object(
+        snap.gauges
+            .iter()
+            .map(|(name, v)| (name.clone(), JsonValue::Int(*v)))
+            .collect(),
+    );
+    let histograms = JsonValue::Array(
+        snap.histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets = JsonValue::Array(
+                    h.bounds
+                        .iter()
+                        .map(|b| JsonValue::Int(*b as i64))
+                        .chain(std::iter::once(JsonValue::Null))
+                        .zip(h.counts.iter())
+                        .map(|(bound, count)| {
+                            JsonValue::Object(vec![
+                                ("le_ns".to_string(), bound),
+                                ("count".to_string(), (*count).into()),
+                            ])
+                        })
+                        .collect(),
+                );
+                JsonValue::object(vec![
+                    ("name", name.as_str().into()),
+                    ("count", h.count.into()),
+                    ("sum_ns", h.sum.into()),
+                    ("min_ns", h.min.into()),
+                    ("max_ns", h.max.into()),
+                    ("buckets", buckets),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::object(vec![
+        ("suite", "metrics".into()),
+        ("scenario", scenario.into()),
+        ("seed", seed.into()),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+/// Renders one snapshot as a human-readable block plus its `BENCH_JSON`
+/// record.
+pub fn render_snapshot(scenario: &str, seed: u64, snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("metrics/{scenario} (seed {seed})\n"));
+    for line in snap.render().lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "BENCH_JSON {}\n",
+        snapshot_to_json(scenario, seed, snap).to_compact()
+    ));
+    out
+}
+
+/// The `metrics` experiment: runs one representative scenario per family
+/// and emits its full telemetry snapshot.
+pub fn metrics_report(seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("TELEMETRY SNAPSHOTS (deterministic per seed)\n\n");
+
+    let hj = hijack::run(&hijack::HijackScenario::new(
+        DefenseStack::TopoGuardSphinx,
+        seed,
+    ));
+    out.push_str(&render_snapshot(
+        "hijack/topoguard+sphinx",
+        seed,
+        &hj.metrics,
+    ));
+    out.push('\n');
+
+    let lf = linkfab::run(&linkfab::LinkFabScenario::new(
+        linkfab::RelayMode::OutOfBand,
+        DefenseStack::TopoGuard,
+        seed,
+    ));
+    out.push_str(&render_snapshot(
+        "linkfab-fig1/oob/topoguard",
+        seed,
+        &lf.metrics,
+    ));
+    out.push('\n');
+
+    let eval = linkfab::run(&linkfab::LinkFabScenario::paper_eval(
+        linkfab::RelayMode::OutOfBand,
+        DefenseStack::TopoGuardPlus,
+        seed,
+    ));
+    out.push_str(&render_snapshot(
+        "linkfab-fig9/oob/topoguard+",
+        seed,
+        &eval.metrics,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_telemetry::Telemetry;
+
+    #[test]
+    fn snapshot_json_is_compact_and_ordered() {
+        let t = Telemetry::new();
+        t.counter_inc("b.two");
+        t.counter_inc("a.one");
+        t.gauge_set("g", -3);
+        t.observe_ns("h", 1_500);
+        let json = snapshot_to_json("test", 7, &t.snapshot()).to_compact();
+        // BTreeMap ordering inside the snapshot: a.one before b.two.
+        let a = json.find("a.one").expect("a.one present");
+        let b = json.find("b.two").expect("b.two present");
+        assert!(a < b, "{json}");
+        assert!(json.contains(r#""seed":7"#), "{json}");
+        assert!(json.contains(r#""g":-3"#), "{json}");
+        assert!(json.contains(r#""sum_ns":1500"#), "{json}");
+        assert!(json.contains(r#""le_ns":null"#), "overflow bucket: {json}");
+    }
+
+    #[test]
+    fn render_snapshot_emits_bench_json_line() {
+        let t = Telemetry::new();
+        t.counter_inc("x");
+        let text = render_snapshot("s", 1, &t.snapshot());
+        assert!(
+            text.lines().any(|l| l.starts_with("BENCH_JSON {")),
+            "{text}"
+        );
+    }
+}

@@ -9,6 +9,7 @@ use openflow::{Action, OfMessage, PortDesc, Xid};
 use sdn_types::crypto::Key;
 use sdn_types::packet::{EthernetFrame, Payload};
 use sdn_types::{DatapathId, Duration, IpAddr, MacAddr, PortNo, SwitchPort};
+use tm_telemetry::Telemetry;
 
 use crate::alerts::AlertSink;
 use crate::devices::{DeviceTable, Observation};
@@ -82,6 +83,9 @@ pub struct SdnController {
     modules: Vec<Box<dyn DefenseModule>>,
     switch_ports: BTreeMap<DatapathId, Vec<PortDesc>>,
     next_xid: u64,
+    /// The run's metrics handle; disabled until `on_start` clones the
+    /// simulation-wide handle out of the context.
+    telemetry: Telemetry,
     /// Count of LLDP probes emitted (diagnostics / Table II workload).
     pub lldp_emitted: u64,
     /// Count of LLDP packets received (diagnostics).
@@ -102,6 +106,7 @@ impl SdnController {
             modules: Vec::new(),
             switch_ports: BTreeMap::new(),
             next_xid: 1,
+            telemetry: Telemetry::disabled(),
             lldp_emitted: 0,
             lldp_received: 0,
             packet_ins: 0,
@@ -188,6 +193,7 @@ impl SdnController {
                 devices: &self.devices,
                 latency: &self.latency,
                 lldp_key: self.config.lldp_key,
+                telemetry: &self.telemetry,
                 outbox: &mut outbox,
             };
             if f(module.as_mut(), &mut mcx) == Command::Block {
@@ -203,6 +209,7 @@ impl SdnController {
 
     fn emit_lldp_round(&mut self, ctx: &mut ControllerCtx<'_>) {
         let now = ctx.now();
+        self.telemetry.counter_inc("controller.discovery.rounds");
         let targets: Vec<(DatapathId, PortDesc)> = self
             .switch_ports
             .iter()
@@ -236,10 +243,13 @@ impl SdnController {
                 },
             );
             self.lldp_emitted += 1;
+            self.telemetry.counter_inc("controller.lldp.emitted");
         }
 
         // Link expiry shares the discovery cadence.
         let expired = self.topology.expire(now, self.config.profile.link_timeout);
+        self.telemetry
+            .counter_add("controller.topology.links_expired", expired.len() as u64);
         for link in expired {
             self.module_pass(ctx, |m, cx| {
                 m.on_link_removed(cx, link);
@@ -257,6 +267,7 @@ impl SdnController {
     ) {
         let Some(lldp) = frame.lldp() else { return };
         self.lldp_received += 1;
+        self.telemetry.counter_inc("controller.lldp.received");
         let now = ctx.now();
         let src = SwitchPort::new(lldp.dpid, lldp.port);
         let dst = SwitchPort::new(dpid, in_port);
@@ -287,6 +298,7 @@ impl SdnController {
             sample,
         };
         if self.module_pass(ctx, |m, cx| m.on_lldp_receive(cx, &receive)) == Command::Block {
+            self.telemetry.counter_inc("controller.lldp.blocked");
             return;
         }
 
@@ -294,6 +306,7 @@ impl SdnController {
         // LLDP; signed-mode controllers drop invalid signatures silently
         // (TopoGuard raises the alert).
         if signature_valid == Some(false) {
+            self.telemetry.counter_inc("controller.lldp.sig_invalid");
             return;
         }
 
@@ -303,7 +316,11 @@ impl SdnController {
         if self.module_pass(ctx, |m, cx| m.on_link_update(cx, link, is_new, sample))
             == Command::Block
         {
+            self.telemetry.counter_inc("controller.link_update.blocked");
             return;
+        }
+        if is_new {
+            self.telemetry.counter_inc("controller.topology.links_new");
         }
         self.topology.observe(link, now, latency_ms);
     }
@@ -329,6 +346,7 @@ impl SdnController {
             let ip = extract_src_ip(frame);
             match self.devices.classify(frame.src, ip, location, now) {
                 Observation::New => {
+                    self.telemetry.counter_inc("controller.host.new");
                     self.devices.commit(frame.src, ip, location, now);
                     self.module_pass(ctx, |m, cx| {
                         m.on_host_new(cx, frame.src, ip, location);
@@ -339,7 +357,11 @@ impl SdnController {
                     self.devices.commit(frame.src, ip, location, now);
                 }
                 Observation::Moved(mv) => {
+                    self.telemetry.counter_inc("controller.host.moves");
                     let verdict = self.module_pass(ctx, |m, cx| m.on_host_move(cx, &mv));
+                    if verdict == Command::Block {
+                        self.telemetry.counter_inc("controller.host.moves_blocked");
+                    }
                     if verdict == Command::Continue {
                         self.devices.commit(frame.src, ip, location, now);
                         // Stale rules still point at the old attachment:
@@ -397,6 +419,7 @@ fn extract_src_ip(frame: &EthernetFrame) -> Option<IpAddr> {
 
 impl ControllerLogic for SdnController {
     fn on_start(&mut self, ctx: &mut ControllerCtx<'_>) {
+        self.telemetry = ctx.telemetry();
         ctx.set_timer(self.config.first_discovery_delay, TIMER_DISCOVERY);
         ctx.set_timer(TICK_INTERVAL, TIMER_TICK);
         if let Some(interval) = self.config.echo_interval {
@@ -443,9 +466,12 @@ impl ControllerLogic for SdnController {
             }
             OfMessage::PacketIn { in_port, data, .. } => {
                 let Ok(frame) = EthernetFrame::parse(&data) else {
+                    self.telemetry
+                        .counter_inc("controller.packet_in.unparseable");
                     return;
                 };
                 self.packet_ins += 1;
+                self.telemetry.counter_inc("controller.packet_in.total");
                 let pin = PacketInCtx {
                     dpid,
                     in_port,
@@ -462,7 +488,11 @@ impl ControllerLogic for SdnController {
                 }
             }
             OfMessage::EchoReply { xid, .. } => {
-                self.latency.echo_received(xid.0, ctx.now());
+                if let Some(rtt) = self.latency.echo_received(xid.0, ctx.now()) {
+                    self.telemetry.counter_inc("controller.echo.replies");
+                    self.telemetry
+                        .observe_duration("controller.echo.rtt_ns", rtt);
+                }
             }
             OfMessage::FlowStatsReply { flows, .. } => {
                 self.module_pass(ctx, |m, cx| {
@@ -489,9 +519,19 @@ impl ControllerLogic for SdnController {
             TIMER_ECHO => {
                 let dpids: Vec<DatapathId> = self.switch_ports.keys().copied().collect();
                 let now = ctx.now();
+                // An echo whose reply is lost or reordered would otherwise
+                // stay in the outstanding map forever; drop anything older
+                // than several echo intervals before sending the next batch.
+                if let Some(interval) = self.config.echo_interval {
+                    let horizon = interval.mul(8).max(Duration::from_secs(1));
+                    let pruned = self.latency.prune_stale(now, horizon);
+                    self.telemetry
+                        .counter_add("controller.echo.pruned", pruned as u64);
+                }
                 for dpid in dpids {
                     let xid = self.fresh_xid();
                     self.latency.echo_sent(xid.0, dpid, now);
+                    self.telemetry.counter_inc("controller.echo.sent");
                     ctx.send(dpid, OfMessage::EchoRequest { xid, payload: 0 });
                 }
                 if let Some(interval) = self.config.echo_interval {

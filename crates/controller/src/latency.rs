@@ -42,15 +42,33 @@ impl CtrlLatencyTracker {
         Some(rtt)
     }
 
+    /// Forgets outstanding echoes sent before `now − horizon` and returns
+    /// how many were dropped. Lost or reordered replies would otherwise pin
+    /// their entries forever, growing the map without bound over a long run.
+    pub fn prune_stale(&mut self, now: SimTime, horizon: Duration) -> usize {
+        let cutoff = SimTime::from_nanos(now.as_nanos().saturating_sub(horizon.as_nanos()));
+        let before = self.outstanding.len();
+        self.outstanding.retain(|_, (_, sent)| *sent >= cutoff);
+        before - self.outstanding.len()
+    }
+
+    /// Number of echoes awaiting a reply (diagnostics).
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
     /// The average of the latest three RTTs for `dpid`, or `None` if no
-    /// measurement has completed yet.
+    /// measurement has completed yet. Rounded to the nearest nanosecond:
+    /// truncation would bias `T_SW` low, and therefore the LLI's
+    /// `T_LLDP − T_SW1 − T_SW2` estimate high.
     pub fn avg_rtt(&self, dpid: DatapathId) -> Option<Duration> {
         let window = self.rtts.get(&dpid)?;
         if window.is_empty() {
             return None;
         }
         let total: u64 = window.iter().map(|d| d.as_nanos()).sum();
-        Some(Duration::from_nanos(total / window.len() as u64))
+        let len = window.len() as u64;
+        Some(Duration::from_nanos((total + len / 2) / len))
     }
 
     /// The estimated one-way control-link delay (`T_SW`): half the averaged
@@ -108,6 +126,43 @@ mod tests {
         assert!(t.avg_rtt(SW).is_none());
         assert!(t.one_way(SW).is_none());
         assert_eq!(t.measured_switches(), 0);
+    }
+
+    #[test]
+    fn avg_rtt_rounds_to_nearest_instead_of_truncating() {
+        let mut t = CtrlLatencyTracker::new();
+        // RTTs of 1 ns, 2 ns, 2 ns: total 5, len 3. Truncation would give
+        // 1 ns; round-to-nearest gives 2 ns.
+        for (xid, (sent, rtt)) in [(0u64, 1u64), (100, 2), (200, 2)].iter().enumerate() {
+            let xid = xid as u64;
+            t.echo_sent(xid, SW, SimTime::from_nanos(*sent));
+            t.echo_received(xid, SimTime::from_nanos(sent + rtt));
+        }
+        assert_eq!(t.avg_rtt(SW), Some(Duration::from_nanos(2)));
+
+        // And a window that rounds down: 1, 1, 2 → 4/3 → 1 ns.
+        let mut t = CtrlLatencyTracker::new();
+        for (xid, (sent, rtt)) in [(0u64, 1u64), (100, 1), (200, 2)].iter().enumerate() {
+            let xid = xid as u64;
+            t.echo_sent(xid, SW, SimTime::from_nanos(*sent));
+            t.echo_received(xid, SimTime::from_nanos(sent + rtt));
+        }
+        assert_eq!(t.avg_rtt(SW), Some(Duration::from_nanos(1)));
+    }
+
+    #[test]
+    fn prune_drops_only_stale_outstanding_echoes() {
+        let mut t = CtrlLatencyTracker::new();
+        t.echo_sent(1, SW, SimTime::from_secs(1)); // stale: reply never came
+        t.echo_sent(2, SW, SimTime::from_secs(9)); // recent
+        assert_eq!(t.outstanding_count(), 2);
+        let pruned = t.prune_stale(SimTime::from_secs(10), Duration::from_secs(5));
+        assert_eq!(pruned, 1);
+        assert_eq!(t.outstanding_count(), 1);
+        // The pruned xid no longer yields a measurement...
+        assert!(t.echo_received(1, SimTime::from_secs(10)).is_none());
+        // ...but the surviving one does.
+        assert!(t.echo_received(2, SimTime::from_secs(10)).is_some());
     }
 
     #[test]

@@ -13,6 +13,8 @@ use sdn_types::crypto::Key;
 use sdn_types::packet::EthernetFrame;
 use sdn_types::{DatapathId, Duration, IpAddr, MacAddr, PortNo, SimTime, SwitchPort};
 
+use tm_telemetry::Telemetry;
+
 use crate::alerts::AlertSink;
 use crate::devices::{DeviceTable, HostMove};
 use crate::latency::CtrlLatencyTracker;
@@ -100,6 +102,8 @@ pub struct ModuleCtx<'a> {
     pub latency: &'a CtrlLatencyTracker,
     /// The controller's LLDP signing/sealing key.
     pub lldp_key: Key,
+    /// The run's shared metrics handle (disabled handles no-op).
+    pub telemetry: &'a Telemetry,
     pub(crate) outbox: &'a mut Vec<(DatapathId, OfMessage)>,
 }
 

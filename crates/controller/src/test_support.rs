@@ -7,6 +7,7 @@
 use openflow::OfMessage;
 use sdn_types::crypto::Key;
 use sdn_types::{DatapathId, SimTime};
+use tm_telemetry::Telemetry;
 
 use crate::alerts::AlertSink;
 use crate::devices::DeviceTable;
@@ -29,6 +30,9 @@ pub struct ModuleHarness {
     pub outbox: Vec<(DatapathId, OfMessage)>,
     /// The controller key handed to modules.
     pub key: Key,
+    /// Metrics handle handed to modules (enabled, so tests can assert on
+    /// published counters).
+    pub telemetry: Telemetry,
 }
 
 impl Default for ModuleHarness {
@@ -47,6 +51,7 @@ impl ModuleHarness {
             latency: CtrlLatencyTracker::new(),
             outbox: Vec::new(),
             key: Key::from_seed(0xBEEF),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -59,6 +64,7 @@ impl ModuleHarness {
             devices: &self.devices,
             latency: &self.latency,
             lldp_key: self.key,
+            telemetry: &self.telemetry,
             outbox: &mut self.outbox,
         }
     }

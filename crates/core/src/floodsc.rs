@@ -49,6 +49,8 @@ pub struct FloodOutcome {
     pub alerts_per_sec: f64,
     /// Distinct identifiers implicated in alerts — the triage fan-out.
     pub identities_implicated: usize,
+    /// Telemetry snapshot taken at the end of the run.
+    pub metrics: tm_telemetry::MetricsSnapshot,
 }
 
 /// Runs the scenario: `victims` benign hosts generate background traffic;
@@ -96,6 +98,7 @@ pub fn run(scenario: &FloodScenario) -> FloodOutcome {
         scenario.stack.build_controller(ControllerConfig::default()),
     ));
 
+    spec.set_telemetry(tm_telemetry::Telemetry::new());
     let mut sim = Simulator::new(spec, scenario.seed);
     sim.run_for(scenario.run_for);
 
@@ -118,5 +121,6 @@ pub fn run(scenario: &FloodScenario) -> FloodOutcome {
         alerts_total: alerts.len(),
         alerts_per_sec: alerts.len() as f64 / attack_secs.max(1e-9),
         identities_implicated: identities.len(),
+        metrics: sim.metrics_snapshot(),
     }
 }

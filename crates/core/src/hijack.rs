@@ -82,6 +82,12 @@ pub struct HijackOutcome {
     /// The full simulator event trace, for replay/determinism checks:
     /// two runs with the same scenario must produce identical traces.
     pub trace: Vec<netsim::TraceEvent>,
+    /// Telemetry snapshot taken at the end of the run. Deterministic:
+    /// same scenario, same seed → byte-identical [`MetricsSnapshot::render`]
+    /// output.
+    ///
+    /// [`MetricsSnapshot::render`]: tm_telemetry::MetricsSnapshot::render
+    pub metrics: tm_telemetry::MetricsSnapshot,
 }
 
 impl HijackOutcome {
@@ -153,6 +159,7 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
     // The migration-destination NIC needs an app slot so the scenario can
     // script its rejoin traffic.
     spec.set_host_app(ids.victim_new, Box::new(netsim::NullHostApp));
+    spec.set_telemetry(tm_telemetry::Telemetry::new());
 
     let mut sim = Simulator::new(spec, scenario.seed);
     // The migration-destination NIC starts down.
@@ -242,5 +249,6 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
             + alerts.count(AlertKind::HostMigrationPostcondition),
         client_pings_during_hijack: client_pings_at_rejoin.saturating_sub(client_pings_at_hijack),
         trace: sim.trace().records().to_vec(),
+        metrics: sim.metrics_snapshot(),
     }
 }

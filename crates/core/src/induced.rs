@@ -94,6 +94,7 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
         )),
     );
     spec.set_host_app(ids.victim_new, Box::new(netsim::NullHostApp));
+    spec.set_telemetry(tm_telemetry::Telemetry::new());
 
     let mut sim = Simulator::new(spec, scenario.seed);
     sim.host_iface_down(ids.victim_new);
@@ -152,6 +153,7 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
                     .count(controller::AlertKind::HostMigrationPostcondition),
             client_pings_during_hijack: 0,
             trace: sim.trace().records().to_vec(),
+            metrics: sim.metrics_snapshot(),
         },
     }
 }

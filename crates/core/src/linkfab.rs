@@ -138,6 +138,12 @@ pub struct LinkFabOutcome {
     /// The full simulator event trace, for replay/determinism checks:
     /// two runs with the same scenario must produce identical traces.
     pub trace: Vec<netsim::TraceEvent>,
+    /// Telemetry snapshot taken at the end of the run. Deterministic:
+    /// same scenario, same seed → byte-identical [`MetricsSnapshot::render`]
+    /// output.
+    ///
+    /// [`MetricsSnapshot::render`]: tm_telemetry::MetricsSnapshot::render
+    pub metrics: tm_telemetry::MetricsSnapshot,
 }
 
 impl LinkFabOutcome {
@@ -217,6 +223,7 @@ fn collect_outcome(
         stats_a,
         stats_b,
         trace: sim.trace().records().to_vec(),
+        metrics: sim.metrics_snapshot(),
     }
 }
 
@@ -242,6 +249,7 @@ fn run_oob_fig1(scenario: &LinkFabScenario) -> LinkFabOutcome {
             Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
         );
     }
+    spec.set_telemetry(tm_telemetry::Telemetry::new());
     let mut sim = Simulator::new(spec, scenario.seed);
     sim.run_for(scenario.run_for);
     let stats_a = sim
@@ -287,6 +295,7 @@ fn run_oob_fig9(scenario: &LinkFabScenario) -> LinkFabOutcome {
             Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
         );
     }
+    spec.set_telemetry(tm_telemetry::Telemetry::new());
     let mut sim = Simulator::new(spec, scenario.seed);
     sim.run_for(scenario.run_for);
     let stats_a = sim
@@ -325,6 +334,7 @@ fn run_in_band(scenario: &LinkFabScenario) -> LinkFabOutcome {
             Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
         );
     }
+    spec.set_telemetry(tm_telemetry::Telemetry::new());
     let mut sim = Simulator::new(spec, scenario.seed);
     sim.run_for(scenario.run_for);
     let stats_a = sim

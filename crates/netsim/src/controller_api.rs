@@ -36,6 +36,12 @@ impl ControllerCtx<'_> {
         &mut self.core.rng
     }
 
+    /// The simulation's telemetry handle (cheap clone; controllers grab it
+    /// in `on_start` and publish into it for the rest of the run).
+    pub fn telemetry(&self) -> tm_telemetry::Telemetry {
+        self.core.telemetry.clone()
+    }
+
     /// Sends `msg` to switch `dpid` over its control channel. Returns
     /// `false` if no such switch exists.
     pub fn send(&mut self, dpid: DatapathId, msg: OfMessage) -> bool {

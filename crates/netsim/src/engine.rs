@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use tm_rand::StdRng;
+use tm_telemetry::Telemetry;
 
 use openflow::OfMessage;
 use sdn_types::packet::EthernetFrame;
@@ -104,6 +105,25 @@ pub(crate) enum Event {
     },
 }
 
+impl Event {
+    /// A stable `&'static str` name for per-kind telemetry counters.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            Event::DeliverToSwitch { .. } => "netsim.event.deliver_to_switch",
+            Event::DeliverToHost { .. } => "netsim.event.deliver_to_host",
+            Event::DeliverOob { .. } => "netsim.event.deliver_oob",
+            Event::CtrlToSwitch { .. } => "netsim.event.ctrl_to_switch",
+            Event::CtrlToController { .. } => "netsim.event.ctrl_to_controller",
+            Event::ControllerTimer { .. } => "netsim.event.controller_timer",
+            Event::HostTimer { .. } => "netsim.event.host_timer",
+            Event::SwitchExpiryTick { .. } => "netsim.event.switch_expiry_tick",
+            Event::PulseCheck { .. } => "netsim.event.pulse_check",
+            Event::PulseCheckUp { .. } => "netsim.event.pulse_check_up",
+            Event::HostIfaceUp { .. } => "netsim.event.host_iface_up",
+        }
+    }
+}
+
 struct Scheduled {
     at: SimTime,
     seq: u64,
@@ -134,15 +154,26 @@ pub(crate) struct SimCore {
     seq: u64,
     queue: BinaryHeap<Scheduled>,
     pub(crate) rng: StdRng,
+    /// Shared metrics handle (disabled by default: every publish is a no-op).
+    pub(crate) telemetry: Telemetry,
+    // Engine totals kept as plain scalars on the hot path and flushed into
+    // the registry only when a snapshot is taken.
+    events_scheduled: u64,
+    events_processed: u64,
+    queue_highwater: usize,
 }
 
 impl SimCore {
-    pub(crate) fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64, telemetry: Telemetry) -> Self {
         SimCore {
             clock: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
             rng: StdRng::seed_from_u64(seed),
+            telemetry,
+            events_scheduled: 0,
+            events_processed: 0,
+            queue_highwater: 0,
         }
     }
 
@@ -153,9 +184,20 @@ impl SimCore {
     /// Schedules `event` to fire `delay` after the current time.
     pub(crate) fn schedule(&mut self, delay: Duration, event: Event) {
         let at = self.clock + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Schedules `event` at an absolute time (clamped to the present — the
+    /// queue never travels backwards).
+    pub(crate) fn schedule_at(&mut self, at: SimTime, event: Event) {
+        let at = at.max(self.clock);
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, event });
+        self.events_scheduled += 1;
+        if self.queue.len() > self.queue_highwater {
+            self.queue_highwater = self.queue.len();
+        }
     }
 
     /// Pops the next event if it fires at or before `horizon`, advancing the
@@ -166,10 +208,28 @@ impl SimCore {
                 let s = self.queue.pop().expect("peeked");
                 debug_assert!(s.at >= self.clock, "time must be monotonic");
                 self.clock = s.at;
+                self.events_processed += 1;
                 Some(s.event)
             }
             _ => None,
         }
+    }
+
+    /// Flushes the scalar engine totals into the registry (idempotent
+    /// absolute writes; called when a snapshot is taken).
+    pub(crate) fn flush_engine_metrics(&self) {
+        self.telemetry
+            .counter_set("netsim.engine.events_scheduled", self.events_scheduled);
+        self.telemetry
+            .counter_set("netsim.engine.events_processed", self.events_processed);
+        self.telemetry.gauge_set(
+            "netsim.engine.queue_highwater",
+            i64::try_from(self.queue_highwater).unwrap_or(i64::MAX),
+        );
+        self.telemetry.gauge_set(
+            "netsim.engine.clock_ns",
+            i64::try_from(self.clock.as_nanos()).unwrap_or(i64::MAX),
+        );
     }
 
     /// Advances the clock to `horizon` (used after draining events).
@@ -192,7 +252,7 @@ mod tests {
 
     #[test]
     fn events_pop_in_time_order() {
-        let mut core = SimCore::new(1);
+        let mut core = SimCore::new(1, Telemetry::disabled());
         core.schedule(Duration::from_millis(30), Event::ControllerTimer { id: 3 });
         core.schedule(Duration::from_millis(10), Event::ControllerTimer { id: 1 });
         core.schedule(Duration::from_millis(20), Event::ControllerTimer { id: 2 });
@@ -206,7 +266,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut core = SimCore::new(1);
+        let mut core = SimCore::new(1, Telemetry::disabled());
         for id in 0..5 {
             core.schedule(Duration::from_millis(10), Event::ControllerTimer { id });
         }
@@ -219,7 +279,7 @@ mod tests {
 
     #[test]
     fn horizon_is_respected() {
-        let mut core = SimCore::new(1);
+        let mut core = SimCore::new(1, Telemetry::disabled());
         core.schedule(Duration::from_millis(10), Event::ControllerTimer { id: 1 });
         core.schedule(Duration::from_millis(50), Event::ControllerTimer { id: 2 });
         assert!(core.pop_until(SimTime::from_millis(20)).is_some());
@@ -231,7 +291,7 @@ mod tests {
 
     #[test]
     fn clock_does_not_go_backward_on_advance() {
-        let mut core = SimCore::new(1);
+        let mut core = SimCore::new(1, Telemetry::disabled());
         core.advance_to(SimTime::from_millis(20));
         core.advance_to(SimTime::from_millis(10));
         assert_eq!(core.now(), SimTime::from_millis(20));

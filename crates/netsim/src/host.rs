@@ -90,6 +90,9 @@ pub(crate) struct HostState {
     pub(crate) mac: MacAddr,
     pub(crate) ip: IpAddr,
     pub(crate) attachment: Option<(DatapathId, PortNo, crate::link::LinkProfile)>,
+    /// Latest delivery time already scheduled on the host's uplink (FIFO
+    /// enforcement; see `PortState::next_delivery`).
+    pub(crate) next_delivery: SimTime,
     pub(crate) iface_up: bool,
     /// Incremented each time the interface goes down; stale pulse checks
     /// compare against it.
@@ -117,6 +120,7 @@ impl HostState {
             mac,
             ip,
             attachment: None,
+            next_delivery: SimTime::ZERO,
             iface_up: true,
             down_epoch: 0,
             up_epoch: 0,
@@ -193,9 +197,27 @@ impl HostCtx<'_> {
             return false;
         }
         let delay = link.sample(&mut self.core.rng);
+        // FIFO enforcement: same rule as switch egress — no overtaking on
+        // one wire.
+        let sampled_at = self.core.now() + delay;
+        let at = {
+            let h = self.state();
+            let at = sampled_at.max(h.next_delivery);
+            h.next_delivery = at;
+            at
+        };
+        if at > sampled_at {
+            self.core.telemetry.counter_inc("netsim.link.fifo_clamped");
+        }
+        self.core.telemetry.counter_inc("netsim.host.tx_frames");
         self.core
-            .schedule(delay, Event::DeliverToSwitch { dpid, port, frame });
+            .schedule_at(at, Event::DeliverToSwitch { dpid, port, frame });
         true
+    }
+
+    /// The simulation's telemetry handle (cheap clone).
+    pub fn telemetry(&self) -> tm_telemetry::Telemetry {
+        self.core.telemetry.clone()
     }
 
     /// Builds and sends an IPv4 frame, stamping the host's IP-ID counter.
@@ -414,22 +436,18 @@ fn default_stack(core: &mut SimCore, net: &mut NetState, host: HostId, frame: &E
     }
 
     match &frame.payload {
-        Payload::Arp(arp) => {
-            if respond_arp && arp.op == ArpOp::Request && arp.target_ip == my_ip {
-                let reply = ArpPacket::reply_to(arp, my_mac);
-                let out = EthernetFrame::new(my_mac, arp.sender_mac, Payload::Arp(reply));
-                let mut ctx = HostCtx { core, net, host };
-                ctx.send_frame(out);
-            }
+        Payload::Arp(arp) if respond_arp && arp.op == ArpOp::Request && arp.target_ip == my_ip => {
+            let reply = ArpPacket::reply_to(arp, my_mac);
+            let out = EthernetFrame::new(my_mac, arp.sender_mac, Payload::Arp(reply));
+            let mut ctx = HostCtx { core, net, host };
+            ctx.send_frame(out);
         }
         Payload::Ipv4(ip) if ip.dst == my_ip => match &ip.transport {
-            Transport::Icmp(icmp) => {
-                if respond_icmp && icmp.icmp_type == IcmpType::EchoRequest {
-                    let reply =
-                        Ipv4Packet::new(my_ip, ip.src, Transport::Icmp(IcmpPacket::reply_to(icmp)));
-                    let mut ctx = HostCtx { core, net, host };
-                    ctx.send_ipv4(frame.src, reply);
-                }
+            Transport::Icmp(icmp) if respond_icmp && icmp.icmp_type == IcmpType::EchoRequest => {
+                let reply =
+                    Ipv4Packet::new(my_ip, ip.src, Transport::Icmp(IcmpPacket::reply_to(icmp)));
+                let mut ctx = HostCtx { core, net, host };
+                ctx.send_ipv4(frame.src, reply);
             }
             Transport::Tcp(tcp) => {
                 if !respond_tcp {

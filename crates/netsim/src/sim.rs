@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use openflow::OfMessage;
 use sdn_types::packet::EthernetFrame;
 use sdn_types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo, SimTime};
+use tm_telemetry::{MetricsSnapshot, Telemetry};
 
 use crate::controller_api::{ControllerCtx, ControllerLogic, NullController};
 use crate::engine::{Event, SimCore};
@@ -38,6 +39,7 @@ pub struct NetworkSpec {
     net: NetState,
     controller: Box<dyn ControllerLogic>,
     default_ctrl_latency: Duration,
+    telemetry: Telemetry,
 }
 
 impl NetworkSpec {
@@ -52,7 +54,16 @@ impl NetworkSpec {
             },
             controller: Box::new(NullController),
             default_ctrl_latency: Duration::from_millis(1),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; every layer of the simulation publishes
+    /// metrics into it. The default is a disabled handle (all publishes are
+    /// no-ops).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Adds a switch with the default control-link latency.
@@ -202,7 +213,7 @@ impl Simulator {
     /// `on_start` hooks.
     pub fn new(spec: NetworkSpec, seed: u64) -> Self {
         let mut sim = Simulator {
-            core: SimCore::new(seed),
+            core: SimCore::new(seed, spec.telemetry),
             net: spec.net,
             controller: Some(spec.controller),
         };
@@ -261,6 +272,19 @@ impl Simulator {
     pub fn run_for(&mut self, duration: Duration) {
         let deadline = self.now() + duration;
         self.run_until(deadline);
+    }
+
+    /// The simulator's telemetry handle (clone it to publish from outside).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.core.telemetry
+    }
+
+    /// Takes a deterministic snapshot of every metric published so far,
+    /// flushing the engine's hot-path counters first. Byte-identical across
+    /// runs with the same seed.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.core.flush_engine_metrics();
+        self.core.telemetry.snapshot()
     }
 
     /// The event trace.
@@ -445,6 +469,7 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, event: Event) {
+        self.core.telemetry.counter_inc(event.kind());
         match event {
             Event::DeliverToSwitch { dpid, port, frame } => {
                 switch::handle_frame(&mut self.core, &mut self.net, dpid, port, frame);

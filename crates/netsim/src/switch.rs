@@ -8,7 +8,7 @@ use openflow::{
     PortLinkState, PortStatsEntry, PortStatusReason,
 };
 use sdn_types::packet::EthernetFrame;
-use sdn_types::{DatapathId, Duration, HostId, MacAddr, PortNo};
+use sdn_types::{DatapathId, Duration, HostId, MacAddr, PortNo, SimTime};
 
 use crate::engine::{Event, SimCore};
 use crate::link::LinkProfile;
@@ -43,6 +43,10 @@ pub(crate) struct PortState {
     pub(crate) detected_up: bool,
     /// Administrative state (failure injection).
     pub(crate) admin_up: bool,
+    /// Latest delivery time already scheduled on this egress channel. A
+    /// physical link is a FIFO pipe: a frame sent later can never overtake
+    /// one sent earlier, so jittered/bursty samples are clamped to this.
+    pub(crate) next_delivery: SimTime,
     pub(crate) rx_packets: u64,
     pub(crate) tx_packets: u64,
     pub(crate) rx_bytes: u64,
@@ -100,6 +104,7 @@ impl SwitchState {
                 hw_addr: hw,
                 detected_up: true,
                 admin_up: true,
+                next_delivery: SimTime::ZERO,
                 rx_packets: 0,
                 tx_packets: 0,
                 rx_bytes: 0,
@@ -236,6 +241,7 @@ pub(crate) fn emit_on_port(
                 at: core.now(),
                 reason: "egress port down",
             });
+            core.telemetry.counter_inc("netsim.switch.drop_egress_down");
             return;
         }
         p.tx_packets += 1;
@@ -243,20 +249,39 @@ pub(crate) fn emit_on_port(
         (p.peer, p.link)
     };
     let delay = link.sample(&mut core.rng);
+    // FIFO enforcement: a later frame on the same wire can never arrive
+    // before an earlier one, however the jitter/burst samples came out.
+    let sampled_at = core.now() + delay;
+    let at = {
+        let p = net
+            .switches
+            .get_mut(&dpid)
+            .and_then(|sw| sw.ports.get_mut(&port))
+            .expect("port checked above");
+        let at = sampled_at.max(p.next_delivery);
+        p.next_delivery = at;
+        at
+    };
+    if at > sampled_at {
+        core.telemetry.counter_inc("netsim.link.fifo_clamped");
+    }
+    core.telemetry.counter_inc("netsim.switch.tx_frames");
+    core.telemetry
+        .observe_duration("netsim.link.transit_ns", at.since(core.now()));
     match peer {
         Peer::Switch {
             dpid: peer_dpid,
             port: peer_port,
-        } => core.schedule(
-            delay,
+        } => core.schedule_at(
+            at,
             Event::DeliverToSwitch {
                 dpid: peer_dpid,
                 port: peer_port,
                 frame: frame.clone(),
             },
         ),
-        Peer::Host { host } => core.schedule(
-            delay,
+        Peer::Host { host } => core.schedule_at(
+            at,
             Event::DeliverToHost {
                 host,
                 frame: frame.clone(),
@@ -369,6 +394,7 @@ pub(crate) fn handle_frame(
             emit_outputs(core, net, dpid, in_port, &ports, &frame);
         }
         MatchOutcome::Miss => {
+            core.telemetry.counter_inc("netsim.switch.table_miss");
             net.trace.push(TraceEvent::PacketIn {
                 at: now,
                 dpid,

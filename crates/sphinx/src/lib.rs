@@ -110,6 +110,7 @@ impl Sphinx {
 
     fn alert(&mut self, cx: &mut ModuleCtx<'_>, kind: AlertKind, detail: String) {
         self.detections += 1;
+        cx.telemetry.counter_inc("sphinx.detections");
         cx.alerts.raise(Alert {
             at: cx.now,
             source: "sphinx",
@@ -173,6 +174,7 @@ impl DefenseModule for Sphinx {
         dpid: DatapathId,
         flows: &[FlowStatsEntry],
     ) {
+        cx.telemetry.counter_inc("sphinx.flow_stats_replies");
         let mut violations = Vec::new();
         for entry in flows {
             let (Some(src), Some(dst)) = (entry.flow_match.eth_src, entry.flow_match.eth_dst)

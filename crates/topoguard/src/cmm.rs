@@ -67,6 +67,7 @@ impl Cmm {
 
     fn alert(&mut self, cx: &mut ModuleCtx<'_>, detail: String) {
         self.detections += 1;
+        cx.telemetry.counter_inc("topoguard.cmm.detections");
         cx.alerts.raise(Alert {
             at: cx.now,
             source: "topoguard+/cmm",
@@ -95,6 +96,7 @@ impl DefenseModule for Cmm {
     }
 
     fn on_lldp_emit(&mut self, cx: &mut ModuleCtx<'_>, dpid: DatapathId, port: PortNo) {
+        cx.telemetry.counter_inc("topoguard.cmm.probes_tracked");
         self.in_flight.insert(SwitchPort::new(dpid, port), cx.now);
     }
 

@@ -107,6 +107,10 @@ impl DefenseModule for Lli {
         let threshold_before = self.detector.threshold();
         let verdict = self.detector.inspect(latency_ms);
         let flagged = matches!(verdict, IqrVerdict::Outlier { .. });
+        cx.telemetry.counter_inc("topoguard.lli.samples");
+        // Milliseconds → nanoseconds for the shared latency bucket ladder.
+        cx.telemetry
+            .observe_ns("topoguard.lli.link_latency_ns", (latency_ms * 1e6) as u64);
         self.observations.push(LliObservation {
             at: cx.now,
             latency_ms,
@@ -117,6 +121,7 @@ impl DefenseModule for Lli {
 
         if let IqrVerdict::Outlier { threshold } = verdict {
             self.detections += 1;
+            cx.telemetry.counter_inc("topoguard.lli.detections");
             cx.alerts.raise(Alert {
                 at: cx.now,
                 source: "topoguard+/lli",

@@ -85,6 +85,7 @@ impl TopoGuard {
     }
 
     fn alert(&self, cx: &mut ModuleCtx<'_>, kind: AlertKind, detail: String) {
+        cx.telemetry.counter_inc("topoguard.alerts");
         cx.alerts.raise(Alert {
             at: cx.now,
             source: "topoguard",
@@ -142,7 +143,7 @@ impl DefenseModule for TopoGuard {
             && cx
                 .devices
                 .location_of(&ev.frame.src)
-                .map_or(true, |bound| bound == port);
+                .is_none_or(|bound| bound == port);
         if !first_hop {
             return Command::Continue;
         }
@@ -278,7 +279,10 @@ impl DefenseModule for TopoGuard {
             old_location: mv.from,
             deadline: cx.now + self.config.reachability_timeout,
         });
+        cx.telemetry.counter_inc("topoguard.reachability_probes");
         self.migrations_accepted += 1;
+        cx.telemetry
+            .counter_set("topoguard.migrations_accepted", self.migrations_accepted);
         Command::Continue
     }
 

@@ -21,6 +21,7 @@
 //! | [`ids`] | `tm-ids` | the Snort-style scan detector |
 //! | [`attacks`] | `attacks` | Port Amnesia, Port Probing, and friends |
 //! | [`scenarios`] | `tm-core` | testbeds, defense stacks, detection matrix |
+//! | [`telemetry`] | `tm-telemetry` | deterministic counters, gauges, histograms |
 //!
 //! # Quickstart
 //!
@@ -47,4 +48,5 @@ pub use sphinx;
 pub use tm_core as scenarios;
 pub use tm_ids as ids;
 pub use tm_stats as stats;
+pub use tm_telemetry as telemetry;
 pub use topoguard;

@@ -46,6 +46,17 @@ fn hijack_trace_replays_exactly_per_seed() {
             a.client_pings_during_hijack, b.client_pings_during_hijack,
             "seed {seed}"
         );
+        // The full telemetry snapshot is part of the determinism contract:
+        // every counter, gauge and histogram bucket must replay exactly.
+        assert!(
+            !a.metrics.is_empty(),
+            "seed {seed}: metrics must be captured"
+        );
+        assert_eq!(
+            a.metrics.render(),
+            b.metrics.render(),
+            "seed {seed}: two runs must produce byte-identical metrics snapshots"
+        );
     }
 }
 
@@ -62,7 +73,31 @@ fn linkfab_trace_replays_exactly_per_seed() {
         assert_eq!(a.link_established, b.link_established, "seed {seed}");
         assert_eq!(a.alerts_total, b.alerts_total, "seed {seed}");
         assert_eq!(a.bridged_frames, b.bridged_frames, "seed {seed}");
+        assert!(
+            !a.metrics.is_empty(),
+            "seed {seed}: metrics must be captured"
+        );
+        assert_eq!(
+            a.metrics.render(),
+            b.metrics.render(),
+            "seed {seed}: two runs must produce byte-identical metrics snapshots"
+        );
     }
+}
+
+#[test]
+fn metrics_snapshots_differ_across_seeds() {
+    // Jittered links make frame timings seed-dependent, and the transit
+    // histogram records them — so distinct seeds must produce distinct
+    // snapshots. (If they ever agreed, the telemetry would have stopped
+    // observing the simulation.)
+    let a = hijack::run(&hijack_scenario(41));
+    let b = hijack::run(&hijack_scenario(42));
+    assert_ne!(
+        a.metrics.render(),
+        b.metrics.render(),
+        "distinct seeds should draw distinct jitter and diverge in the histograms"
+    );
 }
 
 #[test]
