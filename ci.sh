@@ -6,6 +6,7 @@ set -eux
 
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
+cargo run -q -p tm-lint --offline
 cargo build --release --offline
-cargo test -q --offline
+cargo test -q --offline --workspace
 cargo bench --no-run --offline

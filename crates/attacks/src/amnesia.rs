@@ -361,7 +361,9 @@ impl InBandRelayAttacker {
         }
         while let Some(front_kind) = self.queue.front().map(|a| a.required()) {
             if self.belief == PortBelief::Any || self.belief == front_kind {
-                let action = self.queue.pop_front().expect("front exists");
+                let Some(action) = self.queue.pop_front() else {
+                    break;
+                };
                 match action {
                     PendingAction::AsHost(frame, port) => {
                         self.tunnel_now(ctx, &frame, port);

@@ -167,7 +167,12 @@ impl HostApp for IdleScanProber {
                 ctx.set_timer(self.config.step_delay, TIMER_STEP);
             }
             Step::Followup => {
-                let baseline = self.baseline.expect("baseline recorded");
+                // Followup is only entered after Baseline recorded the
+                // ident; a stray RST without one is dropped, not a panic.
+                debug_assert!(self.baseline.is_some(), "Followup implies baseline");
+                let Some(baseline) = self.baseline else {
+                    return FrameDisposition::Pass;
+                };
                 let delta = ip.ident.wrapping_sub(baseline);
                 self.result = Some(IdleScanResult {
                     baseline_ident: baseline,

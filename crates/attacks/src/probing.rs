@@ -166,7 +166,16 @@ impl PortProbingAttacker {
     }
 
     fn begin_hijack(&mut self, ctx: &mut HostCtx<'_>) {
-        let victim_mac = self.timeline.victim_mac.expect("mac acquired");
+        // The probing phase machine only reaches hijack after a probe
+        // response revealed the victim's MAC; bail (debug-asserting)
+        // rather than panic if a scenario drives the phases out of order.
+        debug_assert!(
+            self.timeline.victim_mac.is_some(),
+            "hijack before MAC acquired"
+        );
+        let Some(victim_mac) = self.timeline.victim_mac else {
+            return;
+        };
         self.phase = ProbingPhase::Hijacking;
         self.timeline.ident_change_started = Some(ctx.now());
         let duration = self.config.ident_model.sample_ident_change(ctx.rng());

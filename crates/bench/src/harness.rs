@@ -20,6 +20,7 @@
 //! smoke runs (`TM_BENCH_SAMPLES=3`).
 
 use std::hint::black_box as std_black_box;
+// tm-lint: allow-file(wall-clock) -- measuring wall time is this harness's entire purpose; results feed BENCH_JSON, never sim state
 use std::time::{Duration, Instant};
 
 use crate::json::JsonValue;

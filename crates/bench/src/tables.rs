@@ -1,5 +1,6 @@
 //! Table reproductions.
 
+// tm-lint: allow-file(wall-clock) -- table timings report real elapsed wall time (TopoGuard+ overhead column); never sim-visible
 use std::time::Instant;
 
 use attacks::ProbeKind;

@@ -189,6 +189,7 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
     let rejoin_at = victim_down_at + scenario.downtime;
     while sim.now() < rejoin_at {
         sim.run_for(Duration::from_millis(1));
+        // tm-lint: allow(unwrap-in-lib) -- this scenario installed SdnController itself during setup; a missing controller is a bug in this file, not scenario input
         let ctrl: &SdnController = sim.controller_as().expect("controller");
         if controller_ack_at.is_none()
             && ctrl.devices().location_of(&ids.victim_mac) == Some(ids.attacker_port)
@@ -206,6 +207,7 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
     sim.run_until(rejoin_at);
     let alerts_before_rejoin = sim
         .controller_as::<SdnController>()
+        // tm-lint: allow(unwrap-in-lib) -- this scenario installed SdnController itself during setup; a missing controller is a bug in this file, not scenario input
         .expect("controller")
         .alerts()
         .len();
@@ -231,6 +233,7 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
     }
     sim.run_for(scenario.tail);
 
+    // tm-lint: allow(unwrap-in-lib) -- this scenario installed SdnController itself during setup; a missing controller is a bug in this file, not scenario input
     let ctrl: &SdnController = sim.controller_as().expect("controller");
     let alerts = ctrl.alerts();
     let timeline = sim

@@ -112,6 +112,7 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
     let rejoin_at = victim_down_at + scenario.policy.downtime;
     while sim.now() < rejoin_at {
         sim.run_for(Duration::from_millis(1));
+        // tm-lint: allow(unwrap-in-lib) -- this scenario installed SdnController itself during setup; a missing controller is a bug in this file, not scenario input
         let ctrl: &SdnController = sim.controller_as().expect("controller");
         if ctrl.devices().location_of(&ids.victim_mac) == Some(ids.attacker_port) {
             controller_ack_at = Some(sim.now());
@@ -121,6 +122,7 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
     sim.run_until(rejoin_at);
     let alerts_before_rejoin = sim
         .controller_as::<SdnController>()
+        // tm-lint: allow(unwrap-in-lib) -- this scenario installed SdnController itself during setup; a missing controller is a bug in this file, not scenario input
         .expect("controller")
         .alerts()
         .len();
@@ -129,6 +131,7 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
     sim.host_schedule_iface_up(ids.victim_new, Duration::from_millis(1), None);
     sim.run_for(Duration::from_secs(3));
 
+    // tm-lint: allow(unwrap-in-lib) -- this scenario installed SdnController itself during setup; a missing controller is a bug in this file, not scenario input
     let ctrl: &SdnController = sim.controller_as().expect("controller");
     let timeline = sim
         .host_app_as::<PortProbingAttacker>(ids.attacker)

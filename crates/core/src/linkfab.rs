@@ -203,6 +203,7 @@ fn collect_outcome(
     stats_b: RelayStats,
 ) -> LinkFabOutcome {
     let fake_link = DirectedLink::new(fake_a, fake_b);
+    // tm-lint: allow(unwrap-in-lib) -- this scenario installed SdnController itself during setup; a missing controller is a bug in this file, not scenario input
     let ctrl: &SdnController = sim.controller_as().expect("controller");
     let link_established =
         ctrl.topology().contains(&fake_link) || ctrl.topology().contains(&fake_link.reversed());

@@ -101,9 +101,10 @@ impl HostApp for PeriodicPinger {
                         if let Some(pos) =
                             self.in_flight.iter().position(|(s, _)| *s == icmp.sequence)
                         {
-                            let (_, sent_at) = self.in_flight.remove(pos).expect("pos valid");
-                            self.received += 1;
-                            self.rtts_ms.push(ctx.now().since(sent_at).as_millis_f64());
+                            if let Some((_, sent_at)) = self.in_flight.remove(pos) {
+                                self.received += 1;
+                                self.rtts_ms.push(ctx.now().since(sent_at).as_millis_f64());
+                            }
                         }
                         return FrameDisposition::Consume;
                     }

@@ -137,6 +137,7 @@ impl PartialEq for Scheduled {
 }
 impl Eq for Scheduled {}
 impl PartialOrd for Scheduled {
+    // tm-lint: allow(float-ordering) -- PartialOrd impl over integer (SimTime, seq) keys; no floats involved
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -145,6 +146,41 @@ impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse to pop the earliest (time, seq).
         (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Debug-build runtime invariant checker: the dynamic half of the
+/// determinism contract that `tm-lint` enforces statically (see DESIGN.md
+/// §"Determinism contract"). Tracks the last popped `(time, seq)` pair and
+/// panics the moment a scheduler bug lets time run backwards or a tie pop
+/// out of insertion order — the exact ordering sensitivities topology
+/// tampering attacks exploit, caught at the source instead of three
+/// scenarios downstream in a diverged BENCH_JSON snapshot.
+#[cfg(debug_assertions)]
+#[derive(Default)]
+struct PopInvariants {
+    last: Option<(SimTime, u64)>,
+}
+
+#[cfg(debug_assertions)]
+impl PopInvariants {
+    fn check(&mut self, at: SimTime, seq: u64, clock: SimTime) {
+        assert!(
+            at >= clock,
+            "invariant violated: popped event at {at:?} is before the clock {clock:?}"
+        );
+        if let Some((last_at, last_seq)) = self.last {
+            assert!(
+                at >= last_at,
+                "invariant violated: pop times went backwards ({at:?} after {last_at:?})"
+            );
+            assert!(
+                at > last_at || seq > last_seq,
+                "invariant violated: tie at {at:?} popped out of insertion order \
+                 (seq {seq} after {last_seq})"
+            );
+        }
+        self.last = Some((at, seq));
     }
 }
 
@@ -161,6 +197,8 @@ pub(crate) struct SimCore {
     events_scheduled: u64,
     events_processed: u64,
     queue_highwater: usize,
+    #[cfg(debug_assertions)]
+    invariants: PopInvariants,
 }
 
 impl SimCore {
@@ -174,6 +212,8 @@ impl SimCore {
             events_scheduled: 0,
             events_processed: 0,
             queue_highwater: 0,
+            #[cfg(debug_assertions)]
+            invariants: PopInvariants::default(),
         }
     }
 
@@ -192,6 +232,9 @@ impl SimCore {
     pub(crate) fn schedule_at(&mut self, at: SimTime, event: Event) {
         let at = at.max(self.clock);
         let seq = self.seq;
+        // Tie-break seqs are dense by construction (each schedule takes
+        // the next integer); overflow would wrap ties back to the front.
+        debug_assert!(seq < u64::MAX, "seq counter exhausted");
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, event });
         self.events_scheduled += 1;
@@ -204,15 +247,15 @@ impl SimCore {
     /// clock to the event time.
     pub(crate) fn pop_until(&mut self, horizon: SimTime) -> Option<Event> {
         match self.queue.peek() {
-            Some(s) if s.at <= horizon => {
-                let s = self.queue.pop().expect("peeked");
-                debug_assert!(s.at >= self.clock, "time must be monotonic");
-                self.clock = s.at;
-                self.events_processed += 1;
-                Some(s.event)
-            }
-            _ => None,
+            Some(s) if s.at <= horizon => {}
+            _ => return None,
         }
+        let s = self.queue.pop()?;
+        #[cfg(debug_assertions)]
+        self.invariants.check(s.at, s.seq, self.clock);
+        self.clock = s.at;
+        self.events_processed += 1;
+        Some(s.event)
     }
 
     /// Flushes the scalar engine totals into the registry (idempotent
@@ -243,6 +286,14 @@ impl SimCore {
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Pushes a raw `(at, seq)` entry, bypassing the monotonic clamp and
+    /// the dense seq counter — i.e. deliberately breaks the scheduler.
+    /// Exists only so tests can prove the invariant checker catches it.
+    #[cfg(test)]
+    pub(crate) fn push_raw_for_test(&mut self, at: SimTime, seq: u64, event: Event) {
+        self.queue.push(Scheduled { at, seq, event });
     }
 }
 
@@ -287,6 +338,52 @@ mod tests {
         assert_eq!(core.pending(), 1);
         core.advance_to(SimTime::from_millis(20));
         assert_eq!(core.now(), SimTime::from_millis(20));
+    }
+
+    /// Runs `f` on a fresh core and reports whether it panicked, with the
+    /// default panic hook silenced so expected panics don't spam test
+    /// output.
+    fn panics(f: impl FnOnce(&mut SimCore) + std::panic::UnwindSafe) -> bool {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(move || {
+            let mut core = SimCore::new(1, Telemetry::disabled());
+            f(&mut core);
+        });
+        std::panic::set_hook(prev);
+        result.is_err()
+    }
+
+    #[test]
+    fn broken_scheduler_event_in_the_past_is_caught() {
+        assert!(panics(|core| {
+            core.advance_to(SimTime::from_millis(10));
+            // A correct scheduler clamps to the present; push_raw does not.
+            core.push_raw_for_test(SimTime::from_millis(5), 0, Event::ControllerTimer { id: 1 });
+            core.pop_until(SimTime::from_secs(1));
+        }));
+    }
+
+    #[test]
+    fn broken_scheduler_duplicate_tie_break_is_caught() {
+        assert!(panics(|core| {
+            // Two entries with the same (at, seq): the second pop violates
+            // the strictly-increasing-seq-within-a-tie invariant.
+            core.push_raw_for_test(SimTime::from_millis(5), 7, Event::ControllerTimer { id: 1 });
+            core.push_raw_for_test(SimTime::from_millis(5), 7, Event::ControllerTimer { id: 2 });
+            core.pop_until(SimTime::from_secs(1));
+            core.pop_until(SimTime::from_secs(1));
+        }));
+    }
+
+    #[test]
+    fn well_behaved_scheduling_passes_the_invariant_checker() {
+        assert!(!panics(|core| {
+            for id in 0..100 {
+                core.schedule(Duration::from_millis(id % 7), Event::ControllerTimer { id });
+            }
+            while core.pop_until(SimTime::from_secs(1)).is_some() {}
+        }));
     }
 
     #[test]

@@ -175,6 +175,7 @@ impl HostCtx<'_> {
     }
 
     fn state(&mut self) -> &mut HostState {
+        // tm-lint: allow(unwrap-in-lib) -- HostCtx is only constructed for hosts already in the map (Simulator guards its public entry points)
         self.net.hosts.get_mut(&self.host).expect("ctx host exists")
     }
 
@@ -203,6 +204,7 @@ impl HostCtx<'_> {
         let at = {
             let h = self.state();
             let at = sampled_at.max(h.next_delivery);
+            debug_assert!(at >= h.next_delivery, "per-link FIFO violated at host");
             h.next_delivery = at;
             at
         };

@@ -110,12 +110,14 @@ impl NetworkSpec {
         port: PortNo,
         link: LinkProfile,
     ) -> &mut Self {
+        // tm-lint: allow(unwrap-in-lib) -- documented builder panic ("# Panics"): a malformed spec must fail loudly at build time, not mid-simulation
         let sw = self.net.switches.get_mut(&dpid).expect("switch exists");
         assert!(
             !sw.ports.contains_key(&port),
             "port {port} on {dpid} already attached"
         );
         sw.attach(port, Peer::Host { host }, link);
+        // tm-lint: allow(unwrap-in-lib) -- documented builder panic ("# Panics"): a malformed spec must fail loudly at build time, not mid-simulation
         let h = self.net.hosts.get_mut(&host).expect("host exists");
         assert!(h.attachment.is_none(), "host {host} already attached");
         h.attachment = Some((dpid, port, link));
@@ -135,6 +137,7 @@ impl NetworkSpec {
         link: LinkProfile,
     ) -> &mut Self {
         {
+            // tm-lint: allow(unwrap-in-lib) -- documented builder panic ("# Panics"): a malformed spec must fail loudly at build time, not mid-simulation
             let sw_a = self.net.switches.get_mut(&a).expect("switch a exists");
             assert!(!sw_a.ports.contains_key(&port_a), "port in use on {a}");
             sw_a.attach(
@@ -147,6 +150,7 @@ impl NetworkSpec {
             );
         }
         {
+            // tm-lint: allow(unwrap-in-lib) -- documented builder panic ("# Panics"): a malformed spec must fail loudly at build time, not mid-simulation
             let sw_b = self.net.switches.get_mut(&b).expect("switch b exists");
             assert!(!sw_b.ports.contains_key(&port_b), "port in use on {b}");
             sw_b.attach(
@@ -183,6 +187,7 @@ impl NetworkSpec {
     /// # Panics
     /// Panics if the host does not exist.
     pub fn set_host_app(&mut self, host: HostId, app: Box<dyn HostApp>) -> &mut Self {
+        // tm-lint: allow(unwrap-in-lib) -- documented builder panic ("# Panics"): a malformed spec must fail loudly at build time, not mid-simulation
         self.net.hosts.get_mut(&host).expect("host exists").app = Some(app);
         self
     }
@@ -316,7 +321,9 @@ impl Simulator {
     /// injection). Generates the same PortStatus messages a cable pull
     /// would.
     pub fn set_switch_port_admin(&mut self, dpid: DatapathId, port: PortNo, up: bool) {
-        let changed = {
+        // One lookup covers the change check and the admin-down
+        // transition, so no re-lookup has to assert the port still exists.
+        let down_desc = {
             let Some(sw) = self.net.switches.get_mut(&dpid) else {
                 return;
             };
@@ -324,44 +331,40 @@ impl Simulator {
                 return;
             };
             if p.admin_up == up {
-                false
-            } else {
-                p.admin_up = up;
-                true
+                return;
             }
-        };
-        if changed {
+            p.admin_up = up;
             if up {
-                switch::declare_port_up(&mut self.core, &mut self.net, dpid, port);
+                None
             } else {
                 // Admin-down is observed immediately (no pulse wait).
-                let desc = {
-                    let sw = self.net.switches.get_mut(&dpid).expect("checked");
-                    let p = sw.ports.get_mut(&port).expect("checked");
-                    p.detected_up = false;
-                    openflow::PortDesc {
-                        port_no: port,
-                        hw_addr: p.hw_addr,
-                        state: openflow::PortLinkState::Down,
-                    }
-                };
-                let now = self.core.now();
-                self.net.trace.push(TraceEvent::PortDown {
-                    at: now,
-                    dpid,
-                    port,
-                });
-                switch::send_to_controller(
-                    &mut self.core,
-                    &self.net,
-                    dpid,
-                    OfMessage::PortStatus {
-                        reason: openflow::PortStatusReason::Modify,
-                        desc,
-                        observed_at: now,
-                    },
-                );
+                p.detected_up = false;
+                Some(openflow::PortDesc {
+                    port_no: port,
+                    hw_addr: p.hw_addr,
+                    state: openflow::PortLinkState::Down,
+                })
             }
+        };
+        if up {
+            switch::declare_port_up(&mut self.core, &mut self.net, dpid, port);
+        } else if let Some(desc) = down_desc {
+            let now = self.core.now();
+            self.net.trace.push(TraceEvent::PortDown {
+                at: now,
+                dpid,
+                port,
+            });
+            switch::send_to_controller(
+                &mut self.core,
+                &self.net,
+                dpid,
+                OfMessage::PortStatus {
+                    reason: openflow::PortStatusReason::Modify,
+                    desc,
+                    observed_at: now,
+                },
+            );
         }
     }
 
@@ -400,7 +403,11 @@ impl Simulator {
     }
 
     /// Imperatively takes a host's interface down (scenario scripting).
+    /// Unknown host ids are ignored (scenario input must not panic).
     pub fn host_iface_down(&mut self, host: HostId) {
+        if !self.net.hosts.contains_key(&host) {
+            return;
+        }
         let mut ctx = HostCtx {
             core: &mut self.core,
             net: &mut self.net,
@@ -409,13 +416,17 @@ impl Simulator {
         ctx.iface_down();
     }
 
-    /// Imperatively schedules a host's interface to come up.
+    /// Imperatively schedules a host's interface to come up. Unknown host
+    /// ids are ignored (scenario input must not panic).
     pub fn host_schedule_iface_up(
         &mut self,
         host: HostId,
         delay: Duration,
         identity: Option<(MacAddr, IpAddr)>,
     ) {
+        if !self.net.hosts.contains_key(&host) {
+            return;
+        }
         let mut ctx = HostCtx {
             core: &mut self.core,
             net: &mut self.net,
@@ -424,8 +435,12 @@ impl Simulator {
         ctx.schedule_iface_up(delay, identity);
     }
 
-    /// Imperatively sends a frame from a host.
+    /// Imperatively sends a frame from a host. Returns `false` for an
+    /// unknown host id (scenario input must not panic).
     pub fn host_send_frame(&mut self, host: HostId, frame: EthernetFrame) -> bool {
+        if !self.net.hosts.contains_key(&host) {
+            return false;
+        }
         let mut ctx = HostCtx {
             core: &mut self.core,
             net: &mut self.net,

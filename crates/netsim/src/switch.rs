@@ -229,7 +229,9 @@ pub(crate) fn emit_on_port(
     frame: &EthernetFrame,
 ) {
     let wire_len = frame.wire_len() as u64;
-    let (peer, link) = {
+    // One port lookup does everything: stats, the jitter sample (core and
+    // net are disjoint borrows), and the FIFO clamp.
+    let (peer, at, sampled_at) = {
         let Some(sw) = net.switches.get_mut(&dpid) else {
             return;
         };
@@ -246,21 +248,18 @@ pub(crate) fn emit_on_port(
         }
         p.tx_packets += 1;
         p.tx_bytes += wire_len;
-        (p.peer, p.link)
-    };
-    let delay = link.sample(&mut core.rng);
-    // FIFO enforcement: a later frame on the same wire can never arrive
-    // before an earlier one, however the jitter/burst samples came out.
-    let sampled_at = core.now() + delay;
-    let at = {
-        let p = net
-            .switches
-            .get_mut(&dpid)
-            .and_then(|sw| sw.ports.get_mut(&port))
-            .expect("port checked above");
+        let delay = p.link.sample(&mut core.rng);
+        // FIFO enforcement: a later frame on the same wire can never
+        // arrive before an earlier one, however the jitter/burst samples
+        // came out.
+        let sampled_at = core.now() + delay;
         let at = sampled_at.max(p.next_delivery);
+        debug_assert!(
+            at >= p.next_delivery,
+            "per-link FIFO violated on {dpid}:{port}"
+        );
         p.next_delivery = at;
-        at
+        (p.peer, at, sampled_at)
     };
     if at > sampled_at {
         core.telemetry.counter_inc("netsim.link.fifo_clamped");

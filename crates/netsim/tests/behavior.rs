@@ -393,7 +393,7 @@ fn same_seed_same_trace_different_seed_diverges() {
             .unwrap()
             .rtts_ms
             .iter()
-            .map(|r| r.to_bits() as u64)
+            .map(|r| r.to_bits())
             .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b));
         (rtt_bits, sim.trace().records().len())
     }

@@ -686,19 +686,25 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ParseError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, ParseError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, ParseError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn mac(&mut self) -> Result<MacAddr, ParseError> {
-        Ok(MacAddr::from_slice(self.take(6)?).expect("len 6"))
+        let b = self.take(6)?;
+        Ok(MacAddr::from([b[0], b[1], b[2], b[3], b[4], b[5]]))
     }
 }
 

@@ -103,10 +103,10 @@ impl ArpPacket {
         let op = ArpOp::from_u16(u16::from_be_bytes([bytes[6], bytes[7]]))?;
         Ok(ArpPacket {
             op,
-            sender_mac: MacAddr::from_slice(&bytes[8..14]).expect("checked length"),
-            sender_ip: IpAddr::from_slice(&bytes[14..18]).expect("checked length"),
-            target_mac: MacAddr::from_slice(&bytes[18..24]).expect("checked length"),
-            target_ip: IpAddr::from_slice(&bytes[24..28]).expect("checked length"),
+            sender_mac: super::mac_at(bytes, 8),
+            sender_ip: super::ip_at(bytes, 14),
+            target_mac: super::mac_at(bytes, 18),
+            target_ip: super::ip_at(bytes, 24),
         })
     }
 }

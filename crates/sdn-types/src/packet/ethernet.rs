@@ -139,8 +139,8 @@ impl EthernetFrame {
                 bytes.len(),
             ));
         }
-        let dst = MacAddr::from_slice(&bytes[0..6]).expect("checked length");
-        let src = MacAddr::from_slice(&bytes[6..12]).expect("checked length");
+        let dst = super::mac_at(bytes, 0);
+        let src = super::mac_at(bytes, 6);
         let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
         let body = &bytes[ETH_HEADER_LEN..];
         let payload = match EtherType(ethertype) {

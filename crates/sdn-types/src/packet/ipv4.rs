@@ -140,8 +140,8 @@ impl Ipv4Packet {
         let ident = u16::from_be_bytes([bytes[4], bytes[5]]);
         let ttl = bytes[8];
         let protocol = bytes[9];
-        let src = IpAddr::from_slice(&bytes[12..16]).expect("checked length");
-        let dst = IpAddr::from_slice(&bytes[16..20]).expect("checked length");
+        let src = super::ip_at(bytes, 12);
+        let dst = super::ip_at(bytes, 16);
         let body = &bytes[IPV4_HEADER_LEN..total_len];
         let transport = match IpProtocol(protocol) {
             IpProtocol::ICMP => Transport::Icmp(IcmpPacket::parse(body)?),

@@ -282,20 +282,14 @@ impl LldpPacket {
                         }
                         subtype::AUTH => {
                             if body.len() >= 8 {
-                                auth_tag = Some(u64::from_be_bytes(
-                                    body[..8].try_into().expect("checked length"),
-                                ));
+                                auth_tag = Some(super::u64_be_at(body, 0));
                             }
                         }
                         subtype::TIMESTAMP => {
                             if body.len() >= 16 {
                                 timestamp = Some(SealedTimestamp {
-                                    nonce: u64::from_be_bytes(
-                                        body[..8].try_into().expect("checked length"),
-                                    ),
-                                    sealed: u64::from_be_bytes(
-                                        body[8..16].try_into().expect("checked length"),
-                                    ),
+                                    nonce: super::u64_be_at(body, 0),
+                                    sealed: super::u64_be_at(body, 8),
                                 });
                             }
                         }

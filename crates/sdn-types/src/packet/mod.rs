@@ -22,6 +22,39 @@ pub use lldp::{LldpPacket, LldpTlv, TlvType, LLDP_ORG_TOPOMIRAGE};
 pub use tcp::{TcpFlags, TcpSegment};
 pub use udp::UdpDatagram;
 
+/// Reads a MAC address at `off`. Callers have already length-checked the
+/// buffer; an out-of-range read is a parser logic error (index panic),
+/// not a recoverable condition — this keeps `.expect()` off parse paths.
+pub(crate) fn mac_at(bytes: &[u8], off: usize) -> crate::MacAddr {
+    crate::MacAddr::from([
+        bytes[off],
+        bytes[off + 1],
+        bytes[off + 2],
+        bytes[off + 3],
+        bytes[off + 4],
+        bytes[off + 5],
+    ])
+}
+
+/// Reads an IPv4 address at `off` (same contract as [`mac_at`]).
+pub(crate) fn ip_at(bytes: &[u8], off: usize) -> crate::IpAddr {
+    crate::IpAddr::from([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
+/// Reads a big-endian `u64` at `off` (same contract as [`mac_at`]).
+pub(crate) fn u64_be_at(bytes: &[u8], off: usize) -> u64 {
+    u64::from_be_bytes([
+        bytes[off],
+        bytes[off + 1],
+        bytes[off + 2],
+        bytes[off + 3],
+        bytes[off + 4],
+        bytes[off + 5],
+        bytes[off + 6],
+        bytes[off + 7],
+    ])
+}
+
 /// Computes the Internet checksum (RFC 1071) over `data`.
 ///
 /// Used for the IPv4 header checksum and ICMP checksum.

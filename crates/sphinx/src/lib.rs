@@ -122,32 +122,24 @@ impl Sphinx {
     /// Checks counter conservation for one flow; returns the divergence
     /// ratio if it violates the tolerance. Only counters refreshed within
     /// the same polling epoch are compared.
-    fn counter_violation(&self, graph: &FlowGraph) -> Option<f64> {
-        if graph.byte_counts.len() < 2 {
-            return None;
-        }
-        let newest = graph
-            .byte_counts
-            .values()
-            .map(|(_, at)| *at)
-            .max()
-            .expect("non-empty");
+    fn counter_violation(config: &SphinxConfig, graph: &FlowGraph) -> Option<f64> {
+        let newest = graph.byte_counts.values().map(|(_, at)| *at).max()?;
         let fresh: Vec<u64> = graph
             .byte_counts
             .values()
-            .filter(|(_, at)| newest.since(*at) <= self.config.counter_staleness)
+            .filter(|(_, at)| newest.since(*at) <= config.counter_staleness)
             .map(|(v, _)| *v)
             .collect();
         if fresh.len() < 2 {
             return None;
         }
-        let max = *fresh.iter().max().expect("non-empty");
-        let min = *fresh.iter().min().expect("non-empty");
-        if max < self.config.counter_min_bytes {
+        let max = *fresh.iter().max()?;
+        let min = *fresh.iter().min()?;
+        if max < config.counter_min_bytes {
             return None;
         }
         let divergence = (max - min) as f64 / max as f64;
-        (divergence > self.config.counter_tolerance).then_some(divergence)
+        (divergence > config.counter_tolerance).then_some(divergence)
     }
 }
 
@@ -186,8 +178,7 @@ impl DefenseModule for Sphinx {
             let graph = self.flows.entry(key).or_default();
             graph.byte_counts.insert(dpid, (entry.byte_count, now));
             graph.packet_counts.insert(dpid, entry.packet_count);
-            let graph = self.flows.get(&key).expect("just inserted");
-            if let Some(divergence) = self.counter_violation(graph) {
+            if let Some(divergence) = Self::counter_violation(&self.config, graph) {
                 violations.push((key, divergence));
             }
         }
@@ -275,9 +266,15 @@ mod tests {
         let t = SimTime::from_secs(1);
         graph.byte_counts.insert(DatapathId::new(1), (1000, t));
         graph.byte_counts.insert(DatapathId::new(2), (900, t));
-        assert!(sphinx.counter_violation(&graph).is_none(), "10% ok");
+        assert!(
+            Sphinx::counter_violation(&sphinx.config, &graph).is_none(),
+            "10% ok"
+        );
         graph.byte_counts.insert(DatapathId::new(2), (100, t));
-        assert!(sphinx.counter_violation(&graph).is_some(), "90% violates");
+        assert!(
+            Sphinx::counter_violation(&sphinx.config, &graph).is_some(),
+            "90% violates"
+        );
     }
 
     #[test]
@@ -286,10 +283,13 @@ mod tests {
         let mut graph = FlowGraph::default();
         let t = SimTime::from_secs(1);
         graph.byte_counts.insert(DatapathId::new(1), (100, t));
-        assert!(sphinx.counter_violation(&graph).is_none(), "one switch");
+        assert!(
+            Sphinx::counter_violation(&sphinx.config, &graph).is_none(),
+            "one switch"
+        );
         graph.byte_counts.insert(DatapathId::new(2), (1, t));
         assert!(
-            sphinx.counter_violation(&graph).is_none(),
+            Sphinx::counter_violation(&sphinx.config, &graph).is_none(),
             "below min volume"
         );
     }

@@ -78,9 +78,11 @@ impl IqrOutlierDetector {
             return None;
         }
         let mut sorted: Vec<f64> = self.window.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in store"));
-        let q1 = quantile_sorted(&sorted, 0.25).expect("store is non-empty");
-        let q3 = quantile_sorted(&sorted, 0.75).expect("store is non-empty");
+        // total_cmp: NaN-total and deterministic, unlike partial_cmp
+        // (a NaN sample must not be able to panic or reorder the store).
+        sorted.sort_by(f64::total_cmp);
+        let q1 = quantile_sorted(&sorted, 0.25)?;
+        let q3 = quantile_sorted(&sorted, 0.75)?;
         Some(q3 + self.k * (q3 - q1))
     }
 

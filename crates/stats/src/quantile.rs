@@ -30,7 +30,8 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
 /// Convenience: sorts a copy of `samples` and computes the `q`-quantile.
 pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    // total_cmp: NaN-total and deterministic, unlike partial_cmp.
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 

@@ -1,0 +1,440 @@
+//! A minimal Rust lexer: just enough to tell identifiers apart from
+//! comments, string/char literals, and punctuation, with line numbers.
+//!
+//! The rule engine never needs full parsing — every determinism rule keys
+//! off identifier tokens and one or two neighbours (`.unwrap(`,
+//! `thread::`). What the lexer *must* get right is what is **not** code:
+//! comments (including nested block comments), string literals (including
+//! raw strings with `#` fences and byte strings), char literals, and
+//! lifetimes (so `'a` is not mistaken for an unterminated char literal).
+//!
+//! Line comments are additionally scanned for `tm-lint:` directives — see
+//! [`Directive`] — so suppression stays inline with the code it excuses.
+
+/// What a token is. The rule engine only ever matches on identifiers and
+/// punctuation; literals are kept so brace matching (for `#[cfg(test)]`
+/// skipping) never sees braces hidden inside strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`Instant`, `fn`, `unwrap`).
+    Ident,
+    /// Punctuation. Multi-char operators that rules care about (`::`) are
+    /// fused into one token; everything else is a single char.
+    Punct,
+    /// A string / raw string / byte string / char / numeric literal.
+    Literal,
+    /// A lifetime (`'a`). Distinct from `Literal` so rules can ignore it.
+    Lifetime,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token text (for `Punct`, the operator itself, e.g. `::`).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// An inline suppression parsed from a line comment.
+///
+/// Syntax: `// tm-lint: allow(rule-a, rule-b) -- reason` for a one-line
+/// scope (the directive's own line and the line after it, so both
+/// trailing and preceding placement work), or `allow-file(...)` for the
+/// whole file. The ` -- reason` part is mandatory: an exception without a
+/// written justification is itself a diagnostic.
+#[derive(Clone, Debug)]
+pub struct Directive {
+    /// Rule names inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// 1-indexed line the directive appears on.
+    pub line: u32,
+    /// Whether this is `allow-file` (whole file) or `allow` (line-scoped).
+    pub file_scope: bool,
+    /// The free-text reason after `--`, trimmed. Empty = malformed.
+    pub reason: String,
+    /// Set when the comment contains `tm-lint:` but does not parse as a
+    /// well-formed directive (unknown verb, missing parens).
+    pub malformed: bool,
+}
+
+/// Lexer output: the token stream plus any directives found in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All `tm-lint:` directives, in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs simply consume
+/// the rest of the input (the compiler, not the linter, owns syntax
+/// errors).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_directive(&src[start..i], line, &mut out.directives);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_string(b, i + 1, &mut line);
+                out.tokens.push(tok(TokKind::Literal, "\"…\"", start_line));
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                out.tokens.push(tok(TokKind::Literal, "\"…\"", start_line));
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'ident` with no closing quote
+                // within the next couple of chars is a lifetime.
+                if is_lifetime(b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.tokens.push(tok(TokKind::Lifetime, &src[i..j], line));
+                    i = j;
+                } else {
+                    let start_line = line;
+                    i = skip_char_literal(b, i + 1, &mut line);
+                    out.tokens.push(tok(TokKind::Literal, "'…'", start_line));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // A `.` is part of the number only when followed by a
+                    // digit (so `1.max(2)` lexes as `1` `.` `max`).
+                    if b[i] == b'.' && !b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(tok(TokKind::Literal, &src[start..i], line));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(tok(TokKind::Ident, &src[start..i], line));
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.tokens.push(tok(TokKind::Punct, "::", line));
+                i += 2;
+            }
+            _ => {
+                out.tokens.push(tok(TokKind::Punct, &src[i..i + 1], line));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: &str, line: u32) -> Tok {
+    Tok {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` — but not the identifiers `r` / `b`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // Not a string start if the r/b is the tail of a longer identifier.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    b.get(j) == Some(&b'"') && j > i
+}
+
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        // Raw string: count fence, then find `"` + fence.
+        i += 1;
+        let mut fence = 0usize;
+        while b.get(i) == Some(&b'#') {
+            fence += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            match b.get(i) {
+                None => return i,
+                Some(b'\n') => *line += 1,
+                Some(b'"') => {
+                    let close = &b[i + 1..];
+                    if close.len() >= fence && close[..fence].iter().all(|&c| c == b'#') {
+                        return i + 1 + fence;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    } else {
+        // Plain byte string `b"…"`.
+        skip_string(b, i + 1, line)
+    }
+}
+
+/// Skips a (byte) string body starting just after the opening quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Distinguishes `'a` / `'static` (lifetime) from `'x'` / `'\n'` (char).
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(&c) if c.is_ascii_alphabetic() || c == b'_' => {
+            // `'a'` is a char literal; `'ab` or `'a,` is a lifetime.
+            b.get(i + 2) != Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+/// Skips a char literal body starting just after the opening quote.
+fn skip_char_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                // Unterminated; bail so one bad char doesn't eat the file.
+                *line += 1;
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Parses a directive out of one line comment, if present. A directive
+/// must be the *whole* comment — `// tm-lint: …` — so prose that merely
+/// mentions the syntax (like this sentence) is not mistaken for one.
+fn scan_directive(comment: &str, line: u32, out: &mut Vec<Directive>) {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start();
+    let Some(rest) = body.strip_prefix("tm-lint:") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        out.push(Directive {
+            rules: Vec::new(),
+            line,
+            file_scope: false,
+            reason: String::new(),
+            malformed: true,
+        });
+        return;
+    };
+    let rest = rest.trim_start();
+    let (rules, tail) = match rest.strip_prefix('(').and_then(|r| {
+        r.find(')')
+            .map(|close| (r[..close].to_string(), r[close + 1..].to_string()))
+    }) {
+        Some((inside, tail)) => (
+            inside
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>(),
+            tail,
+        ),
+        None => {
+            out.push(Directive {
+                rules: Vec::new(),
+                line,
+                file_scope,
+                reason: String::new(),
+                malformed: true,
+            });
+            return;
+        }
+    };
+    let reason = tail
+        .trim_start()
+        .strip_prefix("--")
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    out.push(Directive {
+        rules,
+        line,
+        file_scope,
+        reason,
+        malformed: false,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let src = "// Instant::now() here\nlet x = 1; /* HashMap */ let y;\n/* nested /* SystemTime */ still comment */ fin";
+        assert_eq!(idents(src), vec!["let", "x", "let", "y", "fin"]);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let src = r####"let s = "Instant { } \" quote"; let r = r#"HashMap "{" inner"#; let b = b"thread_rng";"####;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "Instant" || i == "HashMap" || i == "thread_rng"));
+        assert_eq!(ids, vec!["let", "s", "let", "r", "let", "b"]);
+    }
+
+    #[test]
+    fn raw_string_fences_must_match() {
+        let src = r#####"let s = r##"one "# not done yet"##; done"#####;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'x'; let n = '\\n'; x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        // The char literals must not have eaten `x }`.
+        assert_eq!(lexed.tokens.last().map(|t| t.text.as_str()), Some("}"));
+    }
+
+    #[test]
+    fn nested_generics_lex_as_idents_and_puncts() {
+        let src = "let m: BTreeMap<u64, Vec<BTreeMap<K, V>>> = BTreeMap::new();";
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec!["let", "m", "BTreeMap", "u64", "Vec", "BTreeMap", "K", "V", "BTreeMap", "new"]
+        );
+        let puncts: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text == "::")
+            .collect();
+        assert_eq!(puncts.len(), 1, "path separator fuses to one token");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nlet c = 2;";
+        let lexed = lex(src);
+        let c = lexed.tokens.iter().find(|t| t.text == "c").expect("c");
+        assert_eq!(c.line, 6);
+    }
+
+    #[test]
+    fn directives_parse_with_reason() {
+        let src = "// tm-lint: allow(wall-clock, threads) -- bench harness\nlet x = 1; // tm-lint: allow-file(unwrap-in-lib) -- parser invariants\n// tm-lint: allow(no-reason-given)\n// tm-lint: frobnicate(x) -- nonsense";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 4);
+        let d0 = &lexed.directives[0];
+        assert_eq!(d0.rules, vec!["wall-clock", "threads"]);
+        assert_eq!(d0.reason, "bench harness");
+        assert!(!d0.file_scope && !d0.malformed);
+        let d1 = &lexed.directives[1];
+        assert!(d1.file_scope);
+        assert_eq!(d1.line, 2);
+        let d2 = &lexed.directives[2];
+        assert!(d2.reason.is_empty() && !d2.malformed);
+        assert!(lexed.directives[3].malformed);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_method_calls() {
+        let src = "let x = 1.max(2); let y = 1.5e3; let z = 0xffu64;";
+        let ids = idents(src);
+        assert!(ids.contains(&"max".to_string()));
+        assert!(!ids.contains(&"5e3".to_string()));
+    }
+}

@@ -1,0 +1,173 @@
+//! # tm-lint — the workspace determinism linter
+//!
+//! Every result this workspace reproduces depends on the simulation being
+//! a pure function of `(scenario, seed)`. This crate enforces that
+//! contract statically: a hand-rolled Rust lexer (no syn, no proc-macro —
+//! the linter guards the hermetic build so it is itself hermetic) feeds a
+//! rule engine that walks every crate and denies, per tier:
+//!
+//! * **wall-clock** — `Instant` / `SystemTime` outside the bench &
+//!   telemetry wall-span allowlist;
+//! * **unordered-collections** — `HashMap` / `HashSet` in sim-visible
+//!   state (hash iteration order is seed- and layout-dependent);
+//! * **unseeded-rng** — any entropy not forked from the seeded `tm-rand`
+//!   root;
+//! * **threads** — threads, channels and locks in sim crates;
+//! * **float-ordering** — `partial_cmp` in event-ordering paths;
+//! * **unwrap-in-lib** — `.unwrap()` / `.expect()` on scenario-reachable
+//!   paths in library code.
+//!
+//! Tiers and their rule sets live in `tm-lint.toml` at the workspace
+//! root. Exceptions are only possible inline —
+//! `// tm-lint: allow(<rule>) -- <reason>` — so every one is written down
+//! and greppable. The same contract is checked dynamically by the
+//! `debug_assertions` invariants in `netsim::engine`; see DESIGN.md
+//! §"Determinism contract".
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::{Diagnostic, FileReport};
+
+/// Directory names never scanned: test/bench/example code is exempt from
+/// the contract (it is not sim-visible state), and fixtures are lint food.
+const SKIP_DIRS: &[&str] = &[".git", "target", "tests", "examples", "benches", "fixtures"];
+
+/// Aggregated result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files: u64,
+    /// All surviving diagnostics, in path order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Suppressed-diagnostic counts per rule.
+    pub allowed: BTreeMap<&'static str, u64>,
+}
+
+impl Report {
+    fn absorb(&mut self, file: FileReport) {
+        self.files += 1;
+        self.diagnostics.extend(file.diagnostics);
+        for (rule, n) in file.allowed {
+            *self.allowed.entry(rule).or_default() += n;
+        }
+    }
+
+    /// Total suppression count.
+    pub fn allowed_total(&self) -> u64 {
+        self.allowed.values().sum()
+    }
+
+    /// The machine-readable summary line (`TM_LINT_JSON {...}`), the same
+    /// convention as the bench harness's `BENCH_JSON` records so future
+    /// tooling can track rule counts over time. Keys are sorted; the
+    /// schema always lists every rule.
+    pub fn summary_json(&self) -> String {
+        let mut denied: BTreeMap<&str, u64> = BTreeMap::new();
+        for d in &self.diagnostics {
+            *denied.entry(d.rule).or_default() += 1;
+        }
+        let rules = rules::rule_names()
+            .iter()
+            .map(|rule| {
+                format!(
+                    "\"{rule}\":{{\"allowed\":{},\"denied\":{}}}",
+                    self.allowed.get(rule).copied().unwrap_or(0),
+                    denied.get(rule).copied().unwrap_or(0),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "TM_LINT_JSON {{\"allowed\":{},\"diagnostics\":{},\"files\":{},\"rules\":{{{rules}}}}}",
+            self.allowed_total(),
+            self.diagnostics.len(),
+            self.files,
+        )
+    }
+}
+
+/// Lints the whole workspace rooted at `root` (which must contain
+/// `tm-lint.toml`). Files not covered by any tier are themselves
+/// diagnostics: the tier map stays total as crates are added.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let cfg_path = root.join("tm-lint.toml");
+    let text = fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&text)?;
+
+    let mut files = Vec::new();
+    walk(root, &mut files).map_err(|e| format!("walk failed: {e}"))?;
+    files.sort();
+
+    let mut report = Report::default();
+    for file in files {
+        let rel = rel_path(root, &file);
+        let Some((_tier, tier)) = cfg.tier_for(&rel) else {
+            report.files += 1;
+            report.diagnostics.push(Diagnostic {
+                path: rel.clone(),
+                line: 1,
+                rule: "bad-directive",
+                message: "file is not covered by any tier in tm-lint.toml; add it to the tier map"
+                    .to_string(),
+            });
+            continue;
+        };
+        let deny = tier.deny.clone();
+        report.absorb(lint_file(&file, &rel, &deny)?);
+    }
+    Ok(report)
+}
+
+/// Lints explicit files with every rule denied (sim-core strictness).
+/// Used by `tm-lint <file>…` and the fixture tests.
+pub fn lint_files_strict(root: &Path, files: &[PathBuf]) -> Result<Report, String> {
+    let deny: Vec<String> = rules::rule_names()
+        .iter()
+        .filter(|r| **r != "bad-directive")
+        .map(|s| s.to_string())
+        .collect();
+    let mut report = Report::default();
+    for file in files {
+        let rel = rel_path(root, file);
+        report.absorb(lint_file(file, &rel, &deny)?);
+    }
+    Ok(report)
+}
+
+fn lint_file(path: &Path, rel: &str, deny: &[String]) -> Result<FileReport, String> {
+    let src =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(rules::check(rel, &lexer::lex(&src), deny))
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,371 @@
+//! The determinism rules and the engine that applies them to a token
+//! stream.
+//!
+//! Every rule keys off identifier tokens plus at most two neighbours, so
+//! the engine is a single pass over the lexed file. Code under
+//! `#[cfg(test)]` is excluded first: tests may freely use `HashSet` for
+//! order-insensitive assertions or `unwrap()` on fixtures — the contract
+//! protects *sim-visible* state, which tests are not.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Directive, Lexed, Tok, TokKind};
+
+/// All rule names, in the order they are reported. `bad-directive` is a
+/// meta-rule (malformed or reason-less suppressions) and cannot itself be
+/// suppressed.
+pub fn rule_names() -> &'static [&'static str] {
+    &[
+        "wall-clock",
+        "unordered-collections",
+        "unseeded-rng",
+        "threads",
+        "float-ordering",
+        "unwrap-in-lib",
+        "bad-directive",
+    ]
+}
+
+/// One finding: a denied construct at a specific line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Rule name (one of [`rule_names`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders in the `path:line: deny(rule): message` compiler style.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: deny({}): {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Per-file lint outcome: surviving diagnostics plus suppression counts.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Diagnostics not covered by an allow directive.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of diagnostics suppressed per rule.
+    pub allowed: BTreeMap<&'static str, u64>,
+}
+
+/// Lints one lexed file against the `deny` rule set.
+pub fn check(path: &str, lexed: &Lexed, deny: &[String]) -> FileReport {
+    let mut report = FileReport::default();
+    let deny: BTreeSet<&str> = deny.iter().map(String::as_str).collect();
+
+    // Directive bookkeeping: a trailing allow (code precedes the comment
+    // on its line) covers only that line; a standalone comment line covers
+    // the following line. allow-file covers the whole file.
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut line_allows: BTreeSet<(u32, &str)> = BTreeSet::new();
+    let mut file_allows: BTreeSet<&str> = BTreeSet::new();
+    for d in &lexed.directives {
+        if let Some(diag) = vet_directive(path, d) {
+            report.diagnostics.push(diag);
+            continue;
+        }
+        for rule in &d.rules {
+            if d.file_scope {
+                file_allows.insert(rule.as_str());
+            } else {
+                line_allows.insert((d.line, rule.as_str()));
+                if !token_lines.contains(&d.line) {
+                    line_allows.insert((d.line + 1, rule.as_str()));
+                }
+            }
+        }
+    }
+
+    let excluded = test_code_ranges(&lexed.tokens);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if excluded.iter().any(|r| r.contains(&i)) {
+            continue;
+        }
+        if let Some((rule, message)) = match_rule(&lexed.tokens, i) {
+            if deny.contains(rule) {
+                raw.push(Diagnostic {
+                    path: path.to_string(),
+                    line: t.line,
+                    rule,
+                    message,
+                });
+            }
+        }
+    }
+
+    for diag in raw {
+        if file_allows.contains(diag.rule) || line_allows.contains(&(diag.line, diag.rule)) {
+            *report.allowed.entry(diag.rule).or_default() += 1;
+        } else {
+            report.diagnostics.push(diag);
+        }
+    }
+    report.diagnostics.sort_by_key(|d| d.line);
+    report
+}
+
+/// Checks a directive is well-formed: parseable, known rules, non-empty
+/// reason. Returns the diagnostic to emit if not.
+fn vet_directive(path: &str, d: &Directive) -> Option<Diagnostic> {
+    let problem = if d.malformed {
+        "malformed directive (expected `tm-lint: allow(<rules>) -- <reason>`)".to_string()
+    } else if d.reason.is_empty() {
+        "allow directive without a written reason (`-- <why>` is mandatory)".to_string()
+    } else if let Some(unknown) = d
+        .rules
+        .iter()
+        .find(|r| !rule_names().contains(&r.as_str()) || *r == "bad-directive")
+    {
+        format!("allow directive names unknown rule `{unknown}`")
+    } else if d.rules.is_empty() {
+        "allow directive lists no rules".to_string()
+    } else {
+        return None;
+    };
+    Some(Diagnostic {
+        path: path.to_string(),
+        line: d.line,
+        rule: "bad-directive",
+        message: problem,
+    })
+}
+
+/// Matches the token at `i` (an ident) against every rule. Returns the
+/// first rule hit and its message.
+fn match_rule(toks: &[Tok], i: usize) -> Option<(&'static str, String)> {
+    let t = &toks[i];
+    let text = t.text.as_str();
+    let prev = |n: usize| i.checked_sub(n).map(|j| toks[j].text.as_str());
+    let next = |n: usize| toks.get(i + n).map(|t| t.text.as_str());
+
+    match text {
+        "Instant" | "SystemTime" | "UNIX_EPOCH" => Some((
+            "wall-clock",
+            format!("`{text}` reads the wall clock; sim-visible time must come from SimTime"),
+        )),
+        "HashMap" | "HashSet" => Some((
+            "unordered-collections",
+            format!("`{text}` iterates in hash order; use BTreeMap/BTreeSet (or a Vec) so state is ordered"),
+        )),
+        "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy" | "getrandom" => Some((
+            "unseeded-rng",
+            format!("`{text}` draws entropy outside the seeded tm-rand root; fork from the scenario RNG"),
+        )),
+        "Mutex" | "RwLock" | "Condvar" | "JoinHandle" | "thread_local" | "mpsc" => Some((
+            "threads",
+            format!("`{text}` implies concurrency; sim crates are single-threaded by contract"),
+        )),
+        "thread" if next(1) == Some("::") || prev(1) == Some("::") => Some((
+            "threads",
+            "`std::thread` implies concurrency; sim crates are single-threaded by contract".into(),
+        )),
+        "partial_cmp" => Some((
+            "float-ordering",
+            "`partial_cmp` is NaN-partial; event-ordering paths need `total_cmp` or integer keys".into(),
+        )),
+        "unwrap" | "expect" if prev(1) == Some(".") && next(1) == Some("(") => Some((
+            "unwrap-in-lib",
+            format!("`.{text}()` panics on scenario-reachable input; return a Result or use let-else/debug_assert"),
+        )),
+        _ => None,
+    }
+}
+
+/// Token index ranges covered by `#[cfg(test)]` (or any `cfg(…)` attribute
+/// mentioning `test`, e.g. `cfg(all(test, …))`), including the attribute
+/// itself and the brace-delimited item that follows it.
+fn test_code_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            // Scan the attribute body up to its closing `]`.
+            let attr_start = i;
+            let mut j = i + 2;
+            let mut depth = 1u32;
+            let mut is_cfg = false;
+            let mut mentions_test = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "cfg" if j == attr_start + 2 => is_cfg = true,
+                    "test" => mentions_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg && mentions_test {
+                // Skip any further attributes, then the braced item.
+                let mut k = j;
+                while k < toks.len() && toks[k].text == "#" {
+                    let mut d = 0u32;
+                    k += 1;
+                    if k < toks.len() && toks[k].text == "[" {
+                        loop {
+                            match toks.get(k).map(|t| t.text.as_str()) {
+                                Some("[") => d += 1,
+                                Some("]") => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                None => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+                    k += 1;
+                }
+                if toks.get(k).map(|t| t.text.as_str()) == Some("{") {
+                    let mut braces = 1u32;
+                    k += 1;
+                    while k < toks.len() && braces > 0 {
+                        match toks[k].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => braces -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                out.push(attr_start..k);
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn all_rules() -> Vec<String> {
+        rule_names().iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run(src: &str) -> FileReport {
+        check("mem.rs", &lex(src), &all_rules())
+    }
+
+    #[test]
+    fn each_rule_fires() {
+        let cases = [
+            ("let t = Instant::now();", "wall-clock"),
+            ("use std::time::SystemTime;", "wall-clock"),
+            (
+                "let m: HashMap<u32, u32> = HashMap::new();",
+                "unordered-collections",
+            ),
+            ("let r = thread_rng();", "unseeded-rng"),
+            ("std::thread::spawn(|| {});", "threads"),
+            ("let l = Mutex::new(0);", "threads"),
+            ("a.partial_cmp(&b)", "float-ordering"),
+            ("let v = x.unwrap();", "unwrap-in-lib"),
+            ("let v = x.expect(\"msg\");", "unwrap-in-lib"),
+        ];
+        for (src, rule) in cases {
+            let rep = run(src);
+            assert!(
+                rep.diagnostics.iter().any(|d| d.rule == rule),
+                "{src:?} should trip {rule}, got {:?}",
+                rep.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn benign_lookalikes_do_not_fire() {
+        for src in [
+            "let v = x.unwrap_or(3);",
+            "let v = x.unwrap_or_else(f);",
+            "let t = self.total_cmp(&o);",
+            "let thread = 4; let x = thread + 1;",
+            "let instant = 3;", // idents are case-sensitive
+            "b.cmp(&a)",
+        ] {
+            let rep = run(src);
+            assert!(
+                rep.diagnostics.is_empty(),
+                "{src:?} -> {:?}",
+                rep.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n  #[test]\n  fn t() { let x = foo().unwrap(); let i = Instant::now(); }\n}\nfn tail() { let bad = q.unwrap(); }";
+        let rep = run(src);
+        assert_eq!(rep.diagnostics.len(), 1, "{:?}", rep.diagnostics);
+        assert_eq!(rep.diagnostics[0].rule, "unwrap-in-lib");
+        assert_eq!(rep.diagnostics[0].line, 8);
+    }
+
+    #[test]
+    fn cfg_all_test_is_also_exempt() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() { x.unwrap(); } }";
+        assert!(run(src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let src = "// tm-lint: allow(wall-clock) -- harness timing\nlet t = Instant::now();\nlet u = Instant::now(); // tm-lint: allow(wall-clock) -- second site\nlet bad = Instant::now();";
+        let rep = run(src);
+        assert_eq!(rep.diagnostics.len(), 1, "{:?}", rep.diagnostics);
+        assert_eq!(rep.diagnostics[0].line, 4);
+        assert_eq!(rep.allowed.get("wall-clock"), Some(&2));
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let src = "// tm-lint: allow-file(wall-clock) -- timing module\nfn a() { Instant::now(); }\nfn b() { SystemTime::now(); }";
+        let rep = run(src);
+        assert!(rep.diagnostics.is_empty());
+        assert_eq!(rep.allowed.get("wall-clock"), Some(&2));
+    }
+
+    #[test]
+    fn reasonless_or_unknown_allows_are_diagnostics() {
+        let src = "// tm-lint: allow(wall-clock)\n// tm-lint: allow(no-such-rule) -- why\n// tm-lint: allow(bad-directive) -- cheeky";
+        let rep = run(src);
+        let rules: Vec<_> = rep.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["bad-directive"; 3], "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let rep = check(
+            "mem.rs",
+            &lex("let t = Instant::now(); let m = HashMap::new();"),
+            &["unordered-collections".to_string()],
+        );
+        let rules: Vec<_> = rep.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["unordered-collections"]);
+    }
+}

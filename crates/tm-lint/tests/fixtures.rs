@@ -1,0 +1,141 @@
+//! Fixture-driven integration tests.
+//!
+//! Each file under `tests/fixtures/` carries `//~ ERROR <rule>` markers
+//! on the lines where a diagnostic is expected (the rustc UI-test
+//! convention). The runner lints the file in strict mode — every rule
+//! denied — and requires the diagnostics to match the markers exactly,
+//! in both directions: nothing missed, nothing spurious.
+//!
+//! Fixtures are never compiled as Rust (the walk in `lint_workspace`
+//! skips `tests/` and `fixtures/` directories, and cargo only builds
+//! top-level files in `tests/`), so they are free to violate the
+//! determinism contract and to reference undefined names.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use tm_lint::lint_files_strict;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parses the `//~ ERROR <rule>` markers out of a fixture's source.
+fn expected_markers(src: &str) -> Vec<(u32, String)> {
+    const MARKER: &str = "//~ ERROR ";
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find(MARKER) {
+            let rule = line[pos + MARKER.len()..].trim().to_string();
+            assert!(
+                !rule.is_empty(),
+                "marker without a rule on line {}",
+                idx + 1
+            );
+            out.push((idx as u32 + 1, rule));
+        }
+    }
+    out
+}
+
+/// Lints `name` in strict mode and diffs diagnostics against markers.
+/// Returns the report for fixture-specific extra assertions.
+fn check_fixture(name: &str) -> tm_lint::Report {
+    let path = fixtures_dir().join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let mut want = expected_markers(&src);
+    let report = lint_files_strict(&fixtures_dir(), &[path]).expect("lint runs");
+    let mut got: Vec<(u32, String)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule.to_string()))
+        .collect();
+    want.sort();
+    got.sort();
+    assert_eq!(
+        got, want,
+        "{name}: linter diagnostics (left) vs //~ ERROR markers (right)"
+    );
+    report
+}
+
+#[test]
+fn violations_fixture_trips_every_rule() {
+    let report = check_fixture("violations.rs");
+    let fired: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+    let all: BTreeSet<&str> = tm_lint::rules::rule_names()
+        .iter()
+        .copied()
+        .filter(|r| *r != "bad-directive")
+        .collect();
+    assert_eq!(fired, all, "every real rule must fire at least once");
+    assert_eq!(report.allowed_total(), 0);
+}
+
+#[test]
+fn allowed_fixture_is_clean_but_counts_suppressions() {
+    let report = check_fixture("allowed.rs");
+    assert!(report.diagnostics.is_empty());
+    assert_eq!(report.allowed.get("wall-clock"), Some(&2));
+    assert_eq!(report.allowed.get("unwrap-in-lib"), Some(&1));
+    assert_eq!(report.allowed.get("unordered-collections"), Some(&1));
+    assert_eq!(report.allowed.get("threads"), Some(&1));
+}
+
+#[test]
+fn allow_file_fixture_suppresses_one_rule_everywhere() {
+    let report = check_fixture("allow_file.rs");
+    assert_eq!(report.allowed.get("wall-clock"), Some(&2));
+    assert_eq!(report.diagnostics.len(), 1, "the unwrap still fires");
+}
+
+#[test]
+fn bad_directives_are_diagnostics_themselves() {
+    let report = check_fixture("bad_directive.rs");
+    assert!(report.diagnostics.iter().all(|d| d.rule == "bad-directive"));
+    assert_eq!(report.allowed_total(), 0, "broken allows suppress nothing");
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    check_fixture("test_code.rs");
+}
+
+#[test]
+fn lexer_is_not_fooled_by_strings_comments_or_lookalikes() {
+    let report = check_fixture("tricky_lex.rs");
+    assert_eq!(report.diagnostics.len(), 1, "only the genuine violation");
+}
+
+#[test]
+fn diagnostics_render_in_compiler_style() {
+    let report = check_fixture("violations.rs");
+    let first = report.diagnostics.first().expect("has diagnostics");
+    let line = first.render();
+    assert!(
+        line.starts_with("violations.rs:") && line.contains(": deny("),
+        "{line}"
+    );
+}
+
+/// The acceptance criterion, end to end: the CLI exits non-zero on a
+/// fixture containing each rule violation and zero on a clean one.
+#[test]
+fn cli_exit_codes_reflect_diagnostics() {
+    let exe = env!("CARGO_BIN_EXE_tm-lint");
+    let run = |name: &str| {
+        Command::new(exe)
+            .arg(fixtures_dir().join(name))
+            .output()
+            .expect("tm-lint binary runs")
+    };
+
+    let bad = run("violations.rs");
+    assert_eq!(bad.status.code(), Some(1), "violations must fail the run");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("TM_LINT_JSON {"), "summary line present");
+
+    let clean = run("allowed.rs");
+    assert_eq!(clean.status.code(), Some(0), "allowed fixture passes");
+}

@@ -1,0 +1,15 @@
+// tm-lint: allow-file(wall-clock) -- fixture: the whole file measures wall time
+// Fixture: a file-scoped allow suppresses the rule everywhere, but only
+// that rule — the unwrap at the bottom must still be flagged.
+
+pub fn first() {
+    let a = Instant::now();
+}
+
+pub fn second() {
+    let b = SystemTime::now();
+}
+
+pub fn third(maybe: Option<u8>) {
+    let v = maybe.unwrap(); //~ ERROR unwrap-in-lib
+}

@@ -1,0 +1,13 @@
+// Fixture: real violations, every one covered by a written-down allow.
+// Expected outcome: zero diagnostics, non-zero allowed count. Exercises
+// both directive scopes: a standalone comment covers the next line, a
+// trailing comment covers only its own line.
+
+pub fn allowed(maybe: Option<u8>) {
+    // tm-lint: allow(wall-clock) -- fixture: standalone comment covers the next line
+    let start = Instant::now();
+    let stamp = SystemTime::now(); // tm-lint: allow(wall-clock) -- fixture: trailing comment covers this line
+    let val = maybe.unwrap(); // tm-lint: allow(unwrap-in-lib) -- fixture: value is always present here
+    // tm-lint: allow(unordered-collections, threads) -- fixture: one directive may list several rules
+    let m = Mutex::new(HashMap::new());
+}

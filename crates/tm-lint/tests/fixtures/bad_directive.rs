@@ -1,0 +1,11 @@
+// Fixture: broken suppressions surface as unsuppressible `bad-directive`
+// diagnostics: a reason-less allow, an unknown rule name, and an attempt
+// to allow the meta-rule itself.
+
+// tm-lint: allow(wall-clock) //~ ERROR bad-directive
+// tm-lint: allow(no-such-rule) -- a written reason does not rescue an unknown rule //~ ERROR bad-directive
+// tm-lint: allow(bad-directive) -- the meta-rule cannot be suppressed //~ ERROR bad-directive
+
+pub fn untouched() -> u32 {
+    7
+}

@@ -1,0 +1,25 @@
+// Fixture: code under #[cfg(test)] is exempt from the contract — tests
+// may unwrap fixtures and use hash collections for order-insensitive
+// assertions. Library code before and after the test module is not.
+
+pub fn lib_code(maybe: Option<u8>) {
+    let bad = maybe.unwrap(); //~ ERROR unwrap-in-lib
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_are_free_to_do_all_of_this() {
+        let t = Instant::now();
+        let x = setup().unwrap();
+        let mut m = HashMap::new();
+        m.insert(1, (t, x));
+    }
+}
+
+pub fn more_lib_code(maybe: Option<u8>) {
+    let worse = maybe.expect("scenario input"); //~ ERROR unwrap-in-lib
+}

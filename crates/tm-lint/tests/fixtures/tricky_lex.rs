@@ -1,0 +1,21 @@
+// Fixture: lexer stress — rule triggers inside strings, raw strings,
+// comments and lookalike identifiers must NOT fire. The one genuine
+// violation at the bottom proves the file is actually scanned.
+//
+// Prose mentioning the tm-lint: allow(wall-clock) syntax mid-comment is
+// not a directive and must not be vetted as one.
+
+pub fn tricky<'a>(s: &'a str, maybe: Option<u8>) -> &'a str {
+    let msg = "Instant::now() inside a string is fine";
+    let raw = r#"HashMap::new() in a raw "string" is fine"#;
+    let fenced = r##"even r#"nested"# fences: thread_rng()"##;
+    let byte = b"Mutex::new() in a byte string";
+    let ch = 'h'; // a char literal, not a lifetime
+    let prose = "tm-lint: allow(unseeded-rng) -- prose in a string, not a directive";
+    /* block comments may mention partial_cmp and .unwrap() freely,
+    /* even nested */ without tripping anything */
+    let unwrap_or = maybe.unwrap_or(0); // lookalike method: no diagnostic
+    let thread = 4; // lookalike local: no `::` neighbour, no diagnostic
+    let real = SystemTime::now(); //~ ERROR wall-clock
+    s
+}

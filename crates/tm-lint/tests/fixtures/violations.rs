@@ -1,0 +1,16 @@
+// Fixture: one violation of every rule. Never compiled — only lexed by
+// the fixture runner, which checks the linter's diagnostics against the
+// expected-error markers below, line by line.
+
+pub fn violations(maybe: Option<u8>, a: f64, b: f64) {
+    let start = Instant::now(); //~ ERROR wall-clock
+    let stamp = SystemTime::now(); //~ ERROR wall-clock
+    let mut seen = HashMap::new(); //~ ERROR unordered-collections
+    let tags = HashSet::new(); //~ ERROR unordered-collections
+    let mut rng = thread_rng(); //~ ERROR unseeded-rng
+    let lock = Mutex::new(0u8); //~ ERROR threads
+    let worker = thread::spawn(run); //~ ERROR threads
+    let ord = a.partial_cmp(&b); //~ ERROR float-ordering
+    let val = maybe.unwrap(); //~ ERROR unwrap-in-lib
+    let other = maybe.expect("present"); //~ ERROR unwrap-in-lib
+}

@@ -1,0 +1,26 @@
+//! The workspace must lint clean against its own determinism contract.
+//!
+//! This is the same check `ci.sh` runs via `cargo run -p tm-lint`; having
+//! it as a test means `cargo test --workspace` alone catches a violation,
+//! with the offending lines in the assertion message.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_under_its_own_contract() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = tm_lint::lint_workspace(&root).expect("tm-lint.toml parses");
+
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "determinism contract violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files > 50,
+        "walked only {} files — wrong workspace root?",
+        report.files
+    );
+    assert!(report.summary_json().starts_with("TM_LINT_JSON {"));
+}

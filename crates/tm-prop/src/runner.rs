@@ -224,7 +224,7 @@ mod tests {
         let strategy = collection::vec((0u32..100).prop_map(|x| x * 2), 0..20);
         let config = Config::default();
         let outcome = std::panic::catch_unwind(|| {
-            run_named("mapvec", &config, &(strategy,), |&(ref xs,)| {
+            run_named("mapvec", &config, &(strategy,), |(xs,)| {
                 let total: u32 = xs.iter().sum();
                 prop_assert!(total < 40, "sum {total}");
             });

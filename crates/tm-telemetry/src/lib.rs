@@ -45,6 +45,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
+// tm-lint: allow(wall-clock) -- Instant feeds only WallSpan, the wall-clock side channel snapshots deliberately exclude
 use std::time::Instant;
 
 use sdn_types::{Duration, SimTime};
@@ -262,6 +263,7 @@ impl Telemetry {
         WallSpan {
             telemetry: self.clone(),
             name,
+            // tm-lint: allow(wall-clock) -- wall spans exist to read the wall clock; excluded from MetricsSnapshot by design
             start: Instant::now(),
         }
     }
@@ -341,6 +343,7 @@ impl SpanTimer {
 pub struct WallSpan {
     telemetry: Telemetry,
     name: &'static str,
+    // tm-lint: allow(wall-clock) -- the span's start is wall time by definition; never enters a snapshot
     start: Instant,
 }
 
