@@ -10,3 +10,30 @@ cargo run -q -p tm-lint --offline
 cargo build --release --offline
 cargo test -q --offline --workspace
 cargo bench --no-run --offline
+
+# Live determinism check: the smoke campaign (2 cheap scenarios x 3 seeds)
+# must produce byte-identical stdout at --workers 1 and --workers 2. The
+# wall-clock BENCH_JSON records go to stderr precisely so they stay out of
+# this diff.
+tmp="${TMPDIR:-/tmp}"
+cargo run -q --release --offline -p bench --bin experiments -- \
+    campaign smoke --seeds 3 --workers 1 \
+    >"$tmp/tm_campaign_w1.out" 2>"$tmp/tm_campaign_w1.err"
+cargo run -q --release --offline -p bench --bin experiments -- \
+    campaign smoke --seeds 3 --workers 2 \
+    >"$tmp/tm_campaign_w2.out" 2>"$tmp/tm_campaign_w2.err"
+diff "$tmp/tm_campaign_w1.out" "$tmp/tm_campaign_w2.out"
+
+# Perf trajectory: campaign wall-clock at both worker counts plus the
+# in-house bench medians. TM_BENCH_SAMPLES=3 keeps this a smoke run; the
+# artifact records the trajectory, it is not a rigorous benchmark.
+TM_BENCH_SAMPLES=3 cargo bench --offline -p bench >"$tmp/tm_bench.out"
+{
+    printf '{\n  "campaign_wall": [\n'
+    cat "$tmp/tm_campaign_w1.err" "$tmp/tm_campaign_w2.err" \
+        | grep '^BENCH_JSON ' | sed -e 's/^BENCH_JSON /    /' -e 's/$/,/' -e '$s/,$//'
+    printf '  ],\n  "bench": [\n'
+    grep '^BENCH_JSON ' "$tmp/tm_bench.out" \
+        | sed -e 's/^BENCH_JSON /    /' -e 's/$/,/' -e '$s/,$//'
+    printf '  ]\n}\n'
+} >BENCH_topomirage.json

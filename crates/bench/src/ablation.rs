@@ -27,9 +27,13 @@ pub fn lli_fence_sweep(seed: u64) -> String {
         "k", "benign false flags", "fake-link detections"
     ));
     for k in [1.0, 1.5, 3.0, 6.0, 12.0] {
-        let benign = run_lli(seed, k, false);
-        let attack = run_lli(seed, k, true);
-        out.push_str(&format!("{k:>6} {benign:>22} {attack:>22}\n"));
+        // Isolated: a panicking k point becomes a FAILED row, not a crash.
+        match tm_campaign::isolate(|| (run_lli(seed, k, false), run_lli(seed, k, true))) {
+            Ok((benign, attack)) => {
+                out.push_str(&format!("{k:>6} {benign:>22} {attack:>22}\n"));
+            }
+            Err(cause) => out.push_str(&format!("{k:>6} FAILED({cause})\n")),
+        }
     }
     out.push_str(
         "\n(small k false-positives on micro-bursts — the §VIII-A hazard; huge k lets the\n 10 ms relay channel through; k = 3 detects the relay with no benign flags)\n",
@@ -108,10 +112,12 @@ pub fn amnesia_hold_sweep(seed: u64) -> String {
         (25, "always resets, bypass"),
         (40, "always resets, bypass"),
     ] {
-        let (forged, alerts) = run_amnesia_hold(seed, hold_ms);
-        out.push_str(&format!(
-            "{hold_ms:>12} {forged:>14} {alerts:>18} {expected:>16}\n"
-        ));
+        match tm_campaign::isolate(|| run_amnesia_hold(seed, hold_ms)) {
+            Ok((forged, alerts)) => out.push_str(&format!(
+                "{hold_ms:>12} {forged:>14} {alerts:>18} {expected:>16}\n"
+            )),
+            Err(cause) => out.push_str(&format!("{hold_ms:>12} FAILED({cause})\n")),
+        }
     }
     out
 }
@@ -160,49 +166,55 @@ pub fn probe_timeout_sweep(base_seed: u64) -> String {
     ));
     for timeout_ms in [20u64, 26, 35, 50, 80] {
         let trials = 30;
-        let mut false_starts = 0;
-        let mut reactions = Vec::new();
-        for i in 0..trials {
-            let (mut spec, ids) = hijack_spec(DefenseStack::None, ControllerConfig::default());
-            let config = ProbingConfig {
-                probe_timeout: Duration::from_millis(timeout_ms),
-                ..ProbingConfig::paper_default(ids.victim_ip, ids.client_ip)
-            };
-            spec.set_host_app(ids.attacker, Box::new(PortProbingAttacker::new(config)));
-            spec.set_host_app(
-                ids.client,
-                Box::new(PeriodicPinger::new(
-                    ids.victim_ip,
-                    Duration::from_millis(250),
-                )),
-            );
-            let mut sim = Simulator::new(spec, base_seed + timeout_ms * 1000 + i);
-            sim.host_iface_down(ids.victim_new);
-            let down_at = SimTime::from_secs(3);
-            sim.run_until(down_at);
-            // Did the attacker already (falsely) fire before the victim
-            // went down?
-            let premature = sim
-                .host_app_as::<PortProbingAttacker>(ids.attacker)
-                .and_then(|a| a.timeline.believed_down_at)
-                .is_some();
-            if premature {
-                false_starts += 1;
-                continue;
+        let row = tm_campaign::isolate(|| {
+            let mut false_starts = 0;
+            let mut reactions = Vec::new();
+            for i in 0..trials {
+                let (mut spec, ids) = hijack_spec(DefenseStack::None, ControllerConfig::default());
+                let config = ProbingConfig {
+                    probe_timeout: Duration::from_millis(timeout_ms),
+                    ..ProbingConfig::paper_default(ids.victim_ip, ids.client_ip)
+                };
+                spec.set_host_app(ids.attacker, Box::new(PortProbingAttacker::new(config)));
+                spec.set_host_app(
+                    ids.client,
+                    Box::new(PeriodicPinger::new(
+                        ids.victim_ip,
+                        Duration::from_millis(250),
+                    )),
+                );
+                let mut sim = Simulator::new(spec, base_seed + timeout_ms * 1000 + i);
+                sim.host_iface_down(ids.victim_new);
+                let down_at = SimTime::from_secs(3);
+                sim.run_until(down_at);
+                // Did the attacker already (falsely) fire before the victim
+                // went down?
+                let premature = sim
+                    .host_app_as::<PortProbingAttacker>(ids.attacker)
+                    .and_then(|a| a.timeline.believed_down_at)
+                    .is_some();
+                if premature {
+                    false_starts += 1;
+                    continue;
+                }
+                sim.host_iface_down(ids.victim);
+                sim.run_for(Duration::from_secs(1));
+                if let Some(at) = sim
+                    .host_app_as::<PortProbingAttacker>(ids.attacker)
+                    .and_then(|a| a.timeline.believed_down_at)
+                {
+                    reactions.push(at.since(down_at).as_millis_f64());
+                }
             }
-            sim.host_iface_down(ids.victim);
-            sim.run_for(Duration::from_secs(1));
-            if let Some(at) = sim
-                .host_app_as::<PortProbingAttacker>(ids.attacker)
-                .and_then(|a| a.timeline.believed_down_at)
-            {
-                reactions.push(at.since(down_at).as_millis_f64());
-            }
+            let mean = reactions.iter().sum::<f64>() / reactions.len().max(1) as f64;
+            (false_starts, mean)
+        });
+        match row {
+            Ok((false_starts, mean)) => out.push_str(&format!(
+                "{timeout_ms:>14} {trials:>14} {false_starts:>16} {mean:>18.1}\n"
+            )),
+            Err(cause) => out.push_str(&format!("{timeout_ms:>14} FAILED({cause})\n")),
         }
-        let mean = reactions.iter().sum::<f64>() / reactions.len().max(1) as f64;
-        out.push_str(&format!(
-            "{timeout_ms:>14} {trials:>14} {false_starts:>16} {mean:>18.1}\n"
-        ));
     }
     out.push_str(
         "\n(timeouts at or under the RTT mean false-start constantly; the quantile-derived\n 35 ms reacts within ~60-70 ms with zero false starts — the paper's §V-B1 trade)\n",

@@ -4,13 +4,15 @@
 //! cargo run --release -p bench --bin experiments -- all
 //! cargo run --release -p bench --bin experiments -- table1
 //! cargo run --release -p bench --bin experiments -- fig5 --trials 500
+//! cargo run --release -p bench --bin experiments -- campaign list
+//! cargo run --release -p bench --bin experiments -- campaign hijack --seeds 10 --workers 4
 //! ```
 
+use bench::cli::CommonArgs;
 use bench::json::JsonValue;
-use bench::{ablation, figures, metrics, sweeps, tables};
+use bench::{ablation, campaign, figures, metrics, sweeps, tables};
+use tm_campaign::{run_campaign, CampaignSpec};
 use tm_core::matrix;
-
-const SEED: u64 = 0xD5_2018;
 
 fn matrix_to_json(entries: &[tm_core::MatrixEntry]) -> JsonValue {
     JsonValue::Array(
@@ -23,6 +25,12 @@ fn matrix_to_json(entries: &[tm_core::MatrixEntry]) -> JsonValue {
                     ("succeeded", e.succeeded.into()),
                     ("detected", e.detected.into()),
                     ("alerts", e.alerts.into()),
+                    (
+                        "failure",
+                        e.failure
+                            .as_deref()
+                            .map_or(JsonValue::Null, JsonValue::from),
+                    ),
                 ])
             })
             .collect(),
@@ -39,47 +47,119 @@ fn write_json(path: &Option<String>, entries: &[tm_core::MatrixEntry]) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--trials N] [--seed N] [--json FILE]\n\
+        "usage: experiments <id> [--trials N] [--seed HEX] [--json FILE]\n\
          ids: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13\n\
               matrix matrix_extended scan_detection alert_flood downtime ablations\n\
-              ablation_lli ablation_amnesia ablation_timeout metrics all"
+              ablation_lli ablation_amnesia ablation_timeout metrics all\n\
+              campaign <scenario|smoke|list> [--seeds N] [--workers N] [--confidence P]"
     );
     std::process::exit(2);
+}
+
+/// The `campaign` subcommand: multi-seed parameter-grid campaigns over the
+/// registry in `bench::campaign`.
+///
+/// Everything deterministic — the report and the per-cell `BENCH_JSON`
+/// records — goes to **stdout**, so two invocations differing only in
+/// `--workers` are byte-identical there (CI diffs exactly that). The
+/// wall-clock record, which legitimately varies, goes to **stderr**.
+fn campaign_cmd(args: &[String]) {
+    let Some(target) = args.first() else { usage() };
+    let registry = campaign::registry();
+
+    if target == "list" {
+        for s in registry.scenarios() {
+            let cells = s.cells().len();
+            println!("{:<18} {:>3} cells  {}", s.name, cells, s.description);
+        }
+        return;
+    }
+
+    let common = CommonArgs::parse(&args[1..], &["--seeds", "--workers", "--confidence"])
+        .unwrap_or_else(|e| {
+            eprintln!("campaign: {e}");
+            usage()
+        });
+    let fail = |e: String| -> ! {
+        eprintln!("campaign: {e}");
+        std::process::exit(2)
+    };
+    let seeds: usize = common
+        .extra_parsed("--seeds", 5)
+        .unwrap_or_else(|e| fail(e));
+    let workers: usize = common
+        .extra_parsed("--workers", 1)
+        .unwrap_or_else(|e| fail(e));
+    let confidence: f64 = common
+        .extra_parsed("--confidence", 0.95)
+        .unwrap_or_else(|e| fail(e));
+
+    let names: Vec<&str> = if target == "smoke" {
+        campaign::SMOKE_SCENARIOS.to_vec()
+    } else {
+        vec![target.as_str()]
+    };
+
+    let mut summaries = Vec::new();
+    for name in names {
+        let mut spec = CampaignSpec::new(name, common.seed);
+        spec.seeds = seeds;
+        spec.workers = workers;
+        spec.confidence = confidence;
+        // The driver owns the process: silence the default panic hook's
+        // backtraces while isolated cells fail (they are *reported*).
+        spec.quiet_panics = true;
+
+        // tm-lint: allow(wall-clock) -- campaign wall time is the perf-trajectory record; stderr only, never in the deterministic report
+        let start = std::time::Instant::now();
+        let report = run_campaign(&registry, &spec).unwrap_or_else(|e| fail(e));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        print!("{}", report.render());
+        for line in campaign::cell_bench_lines(&report) {
+            println!("{line}");
+        }
+        println!();
+
+        let wall = JsonValue::object(vec![
+            ("suite", "campaign-wall".into()),
+            ("bench", name.into()),
+            ("workers", workers.into()),
+            ("runs", report.runs.len().into()),
+            ("failed", report.total_failures().into()),
+            ("wall_ms", wall_ms.into()),
+        ]);
+        eprintln!("BENCH_JSON {}", wall.to_compact());
+
+        summaries.push(campaign::summary_json(&report));
+    }
+
+    if let Some(path) = &common.json {
+        let json = if summaries.len() == 1 {
+            summaries.remove(0).to_pretty()
+        } else {
+            JsonValue::Array(summaries).to_pretty()
+        };
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(id) = args.first() else { usage() };
-    let mut trials = 200usize;
-    let mut seed = SEED;
-    let mut json_path: Option<String> = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--json" => {
-                json_path = args.get(i + 1).cloned();
-                if json_path.is_none() {
-                    usage();
-                }
-                i += 2;
-            }
-            "--trials" => {
-                trials = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                i += 2;
-            }
-            "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                i += 2;
-            }
-            _ => usage(),
-        }
+    if id == "campaign" {
+        campaign_cmd(&args[1..]);
+        return;
     }
+
+    let common = CommonArgs::parse(&args[1..], &[]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
+    let trials = common.trials;
+    let seed = common.seed;
+    let json_path = common.json;
 
     match id.as_str() {
         "table1" => println!("{}", tables::table1(seed)),

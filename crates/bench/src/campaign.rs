@@ -1,0 +1,357 @@
+//! Registry adapters exposing the workspace's real scenarios to the
+//! `tm-campaign` runner, plus the machine-readable summary emission.
+//!
+//! Each adapter wraps one `tm_core` scenario (or a sampling model) as a
+//! [`Scenario`]: a typed parameter grid plus a `(grid point, seed) →
+//! metrics` closure. The closure must stay a pure function of its two
+//! arguments — the campaign runner derives per-run seeds itself and
+//! relies on that purity for worker-count-independent output.
+
+use attacks::{IdentChangeModel, ProbeKind};
+use controller::ControllerProfile;
+use sdn_types::{Duration, IpAddr};
+use tm_campaign::{Axis, CampaignReport, Metrics, Registry, Scenario};
+use tm_core::floodsc::{self, FloodScenario};
+use tm_core::hijack::{self, HijackScenario};
+use tm_core::linkfab::{self, LinkFabScenario, RelayMode};
+use tm_core::DefenseStack;
+use tm_rand::StdRng;
+use tm_stats::{quantile, Summary};
+
+use crate::json::JsonValue;
+
+/// The scenarios cheap enough for the CI smoke campaign (sampling models,
+/// no full simulation): run in seconds even at several seeds per cell.
+pub const SMOKE_SCENARIOS: [&str; 2] = ["probe-overhead", "ident-change"];
+
+fn parse_stack(name: &str) -> DefenseStack {
+    match name {
+        "topoguard" => DefenseStack::TopoGuard,
+        "sphinx" => DefenseStack::Sphinx,
+        "tg-sphinx" => DefenseStack::TopoGuardSphinx,
+        "topoguard-plus" => DefenseStack::TopoGuardPlus,
+        "tg-plus-binding" => DefenseStack::TopoGuardPlusBinding,
+        _ => DefenseStack::None,
+    }
+}
+
+/// The full campaign registry over the workspace's scenarios.
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    let mut add = |s: Scenario| {
+        // Names are compile-time constants below; duplicates are a bug.
+        if let Err(e) = r.register(s) {
+            unreachable!("campaign registry: {e}");
+        }
+    };
+
+    add(Scenario::new(
+        "probe-overhead",
+        "Table I liveness probe overhead model, 1000 scans per run",
+        vec![Axis::new(
+            "probe",
+            &["icmp-ping", "tcp-syn", "arp-ping", "idle-scan"],
+        )],
+        |point, seed| {
+            let kind = match point.get("probe") {
+                Some("tcp-syn") => ProbeKind::TcpSyn { port: 80 },
+                Some("arp-ping") => ProbeKind::ArpPing,
+                Some("idle-scan") => ProbeKind::IdleScan {
+                    zombie: IpAddr::new(10, 0, 0, 9),
+                    port: 80,
+                },
+                _ => ProbeKind::IcmpPing,
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples: Vec<f64> = (0..1000)
+                .map(|_| kind.sample_overhead(&mut rng).as_millis_f64())
+                .collect();
+            let s = Summary::of(&samples);
+            Metrics::new()
+                .with("overhead_mean_ms", s.mean)
+                .with("overhead_sd_ms", s.sd)
+                .with("overhead_q95_ms", quantile(&samples, 0.95).unwrap_or(0.0))
+        },
+    ));
+
+    add(Scenario::new(
+        "ident-change",
+        "Fig. 4 ifconfig identifier-change timing model, 1000 trials per run",
+        vec![Axis::new("op", &["ident-change", "bare-cycle"])],
+        |point, seed| {
+            let model = IdentChangeModel::paper_default();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples: Vec<f64> = (0..1000)
+                .map(|_| {
+                    if point.get("op") == Some("bare-cycle") {
+                        model.sample_bare_cycle(&mut rng).as_millis_f64()
+                    } else {
+                        model.sample_ident_change(&mut rng).as_millis_f64()
+                    }
+                })
+                .collect();
+            let s = Summary::of(&samples);
+            Metrics::new()
+                .with("latency_mean_ms", s.mean)
+                .with("latency_q99_ms", quantile(&samples, 0.99).unwrap_or(0.0))
+                .with("latency_max_ms", s.max)
+        },
+    ));
+
+    add(Scenario::new(
+        "hijack",
+        "Port Probing hijack (§IV-B) across defense stacks, full simulation",
+        vec![Axis::new(
+            "stack",
+            &["none", "topoguard", "sphinx", "tg-sphinx", "topoguard-plus"],
+        )],
+        |point, seed| {
+            let stack = parse_stack(point.get("stack").unwrap_or("none"));
+            let outcome = hijack::run(&HijackScenario::new(stack, seed));
+            let mut m = Metrics::new()
+                .with(
+                    "hijack_succeeded",
+                    f64::from(u8::from(outcome.hijack_succeeded())),
+                )
+                .with(
+                    "undetected_before_rejoin",
+                    f64::from(u8::from(outcome.undetected_before_rejoin())),
+                )
+                .with("alerts_total", outcome.alerts_total as f64)
+                .with(
+                    "client_pings_during_hijack",
+                    outcome.client_pings_during_hijack as f64,
+                );
+            if let Some(ms) = outcome.detect_delay_ms() {
+                m.push("detect_delay_ms", ms);
+            }
+            if let Some(ms) = outcome.iface_up_delay_ms() {
+                m.push("iface_up_delay_ms", ms);
+            }
+            if let Some(ms) = outcome.controller_ack_delay_ms() {
+                m.push("controller_ack_delay_ms", ms);
+            }
+            m
+        },
+    ));
+
+    add(Scenario::new(
+        "linkfab",
+        "Port Amnesia link fabrication (§IV-A) on the Fig. 1 topology",
+        vec![
+            Axis::new("mode", &["naive-relay", "oob-amnesia", "oob-stealthy"]),
+            Axis::new("stack", &["topoguard", "topoguard-plus"]),
+        ],
+        |point, seed| {
+            let mode = match point.get("mode") {
+                Some("naive-relay") => RelayMode::NaiveNoAmnesia,
+                Some("oob-stealthy") => RelayMode::OutOfBandStealthy,
+                _ => RelayMode::OutOfBand,
+            };
+            let stack = parse_stack(point.get("stack").unwrap_or("topoguard"));
+            let outcome = linkfab::run(&LinkFabScenario::new(mode, stack, seed));
+            Metrics::new()
+                .with(
+                    "link_established",
+                    f64::from(u8::from(outcome.link_established)),
+                )
+                .with("detected", f64::from(u8::from(outcome.detected())))
+                .with("alerts_total", outcome.alerts_total as f64)
+                .with("bridged_frames", outcome.bridged_frames as f64)
+                .with("benign_pings_ok", outcome.benign_pings_ok as f64)
+        },
+    ));
+
+    add(Scenario::new(
+        "discovery-profiles",
+        "Table III discovery cadence and link expiry per controller profile",
+        vec![Axis::new(
+            "controller",
+            &["floodlight", "pox", "opendaylight"],
+        )],
+        |point, seed| {
+            let profile = match point.get("controller") {
+                Some("pox") => ControllerProfile::POX,
+                Some("opendaylight") => ControllerProfile::OPENDAYLIGHT,
+                _ => ControllerProfile::FLOODLIGHT,
+            };
+            let (cadence_s, expiry_s) = crate::tables::measure_profile(profile, seed);
+            Metrics::new()
+                .with("cadence_s", cadence_s)
+                .with("expiry_s", expiry_s)
+        },
+    ));
+
+    add(Scenario::new(
+        "alert-flood",
+        "Alert flooding (§IV-B) under TopoGuard: alert volume vs spoof rate",
+        vec![Axis::new("rate", &["1", "5", "10", "20", "50"])],
+        |point, seed| {
+            let rate: u64 = point.get("rate").and_then(|v| v.parse().ok()).unwrap_or(20);
+            let outcome = floodsc::run(&FloodScenario {
+                spoof_rate_per_sec: rate,
+                run_for: Duration::from_secs(20),
+                ..FloodScenario::new(DefenseStack::TopoGuard, seed)
+            });
+            Metrics::new()
+                .with("spoofs_sent", outcome.spoofs_sent as f64)
+                .with("alerts_total", outcome.alerts_total as f64)
+                .with("alerts_per_sec", outcome.alerts_per_sec)
+                .with(
+                    "identities_implicated",
+                    outcome.identities_implicated as f64,
+                )
+        },
+    ));
+
+    r
+}
+
+/// One `BENCH_JSON` line per (cell, metric): the per-cell records the CI
+/// perf-trajectory collector harvests. Deterministic — derived purely
+/// from the merged campaign report.
+pub fn cell_bench_lines(report: &CampaignReport) -> Vec<String> {
+    let mut lines = Vec::new();
+    for cell in &report.cells {
+        for m in &cell.metrics {
+            let record = JsonValue::object(vec![
+                ("suite", format!("campaign/{}", report.scenario).into()),
+                ("cell", cell.point.label().into()),
+                ("metric", m.name.as_str().into()),
+                ("n", m.n.into()),
+                ("mean", m.mean.into()),
+                ("sd", m.sd.into()),
+                ("ci_half", m.ci_half.into()),
+                ("q50", m.q50.into()),
+                ("min", m.min.into()),
+                ("max", m.max.into()),
+            ]);
+            lines.push(format!("BENCH_JSON {}", record.to_compact()));
+        }
+    }
+    lines
+}
+
+/// The machine-readable campaign summary (`--json FILE`).
+pub fn summary_json(report: &CampaignReport) -> JsonValue {
+    JsonValue::object(vec![
+        ("scenario", report.scenario.as_str().into()),
+        ("description", report.description.as_str().into()),
+        ("base_seed", format!("{:#x}", report.base_seed).into()),
+        ("seeds", report.seeds.into()),
+        ("confidence", report.confidence.into()),
+        (
+            "cells",
+            JsonValue::Array(
+                report
+                    .cells
+                    .iter()
+                    .map(|cell| {
+                        JsonValue::object(vec![
+                            ("cell", cell.point.label().into()),
+                            ("ok", cell.ok().into()),
+                            ("failed", cell.failures.len().into()),
+                            (
+                                "metrics",
+                                JsonValue::Array(
+                                    cell.metrics
+                                        .iter()
+                                        .map(|m| {
+                                            JsonValue::object(vec![
+                                                ("name", m.name.as_str().into()),
+                                                ("n", m.n.into()),
+                                                ("mean", m.mean.into()),
+                                                ("sd", m.sd.into()),
+                                                ("ci_half", m.ci_half.into()),
+                                                ("q50", m.q50.into()),
+                                                ("min", m.min.into()),
+                                                ("max", m.max.into()),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "failures",
+                                JsonValue::Array(
+                                    cell.failures
+                                        .iter()
+                                        .map(|(seed, cause)| {
+                                            JsonValue::object(vec![
+                                                ("seed", format!("{seed:#x}").into()),
+                                                ("cause", cause.as_str().into()),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "total_ok",
+            (report.runs.len() - report.total_failures()).into(),
+        ),
+        ("total_failed", report.total_failures().into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_campaign::{run_campaign, CampaignSpec};
+
+    #[test]
+    fn registry_contains_the_advertised_scenarios() {
+        let r = registry();
+        for name in [
+            "probe-overhead",
+            "ident-change",
+            "hijack",
+            "linkfab",
+            "discovery-profiles",
+            "alert-flood",
+        ] {
+            assert!(r.get(name).is_some(), "missing scenario {name}");
+        }
+        for name in SMOKE_SCENARIOS {
+            assert!(r.get(name).is_some(), "missing smoke scenario {name}");
+        }
+    }
+
+    #[test]
+    fn smoke_scenarios_are_worker_count_independent() {
+        let r = registry();
+        for name in SMOKE_SCENARIOS {
+            let mut spec = CampaignSpec::new(name, 0xD5_2018);
+            spec.seeds = 3;
+            let serial = run_campaign(&r, &spec).expect("workers=1");
+            spec.workers = 2;
+            let pooled = run_campaign(&r, &spec).expect("workers=2");
+            assert_eq!(
+                serial.render(),
+                pooled.render(),
+                "{name}: output must not depend on worker count"
+            );
+            assert_eq!(
+                cell_bench_lines(&serial),
+                cell_bench_lines(&pooled),
+                "{name}: BENCH_JSON lines must not depend on worker count"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_json_round_trips_totals() {
+        let r = registry();
+        let mut spec = CampaignSpec::new("probe-overhead", 7);
+        spec.seeds = 2;
+        let report = run_campaign(&r, &spec).expect("campaign");
+        let json = summary_json(&report).to_compact();
+        assert!(json.contains(r#""scenario":"probe-overhead""#), "{json}");
+        assert!(json.contains(r#""total_failed":0"#), "{json}");
+        assert!(json.contains(r#""base_seed":"0x7""#), "{json}");
+    }
+}

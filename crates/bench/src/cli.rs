@@ -1,0 +1,144 @@
+//! Shared command-line parsing for the experiment driver.
+//!
+//! Every `experiments` subcommand accepts the same core flags — `--trials
+//! <n>`, `--seed <hex-or-decimal>`, `--json <file>` — parsed here in one
+//! place so defaults (and therefore `experiments_output.txt`) stay
+//! consistent across subcommands. Subcommands with extra value-taking
+//! flags (the campaign runner's `--seeds`/`--workers`/`--confidence`)
+//! declare them up front and read them back out of [`CommonArgs::extra`].
+
+use std::str::FromStr;
+
+/// The driver's default base seed (also the paper's publication venue and
+/// year, which makes it easy to spot in output).
+pub const DEFAULT_SEED: u64 = 0xD5_2018;
+
+/// The driver's default trial count for figure reproductions.
+pub const DEFAULT_TRIALS: usize = 200;
+
+/// Parses a `u64` that may be hex (`0x` prefix, case-insensitive) or
+/// decimal. Underscore separators are accepted in both forms.
+pub fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.replace('_', "");
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The flags shared by every subcommand, plus any declared extras.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// `--trials <n>` (default [`DEFAULT_TRIALS`]).
+    pub trials: usize,
+    /// `--seed <hex-or-decimal>` (default [`DEFAULT_SEED`]).
+    pub seed: u64,
+    /// `--json <file>`: machine-readable dump destination.
+    pub json: Option<String>,
+    /// Declared subcommand-specific flags, as `(flag, value)` pairs in
+    /// command-line order.
+    pub extra: Vec<(String, String)>,
+}
+
+impl CommonArgs {
+    /// Parses `args` (everything after the subcommand id). Flags named in
+    /// `extra_value_flags` are collected verbatim into [`CommonArgs::extra`];
+    /// anything else unrecognised is an error naming the offending flag.
+    pub fn parse(args: &[String], extra_value_flags: &[&str]) -> Result<CommonArgs, String> {
+        let mut parsed = CommonArgs {
+            trials: DEFAULT_TRIALS,
+            seed: DEFAULT_SEED,
+            json: None,
+            extra: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = || {
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag {
+                "--trials" => {
+                    parsed.trials = value()?
+                        .parse()
+                        .map_err(|_| format!("--trials: not a count: {}", args[i + 1]))?;
+                }
+                "--seed" => {
+                    parsed.seed = parse_u64(&value()?)
+                        .ok_or_else(|| format!("--seed: not hex or decimal: {}", args[i + 1]))?;
+                }
+                "--json" => parsed.json = Some(value()?),
+                _ if extra_value_flags.contains(&flag) => {
+                    parsed.extra.push((flag.to_string(), value()?));
+                }
+                _ => return Err(format!("unknown flag {flag}")),
+            }
+            i += 2;
+        }
+        Ok(parsed)
+    }
+
+    /// Reads a declared extra flag back out, parsed as `T`; `default` when
+    /// the flag was not given.
+    pub fn extra_parsed<T: FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.extra.iter().rev().find(|(f, _)| f == flag) {
+            None => Ok(default),
+            Some((_, v)) => v.parse().map_err(|_| format!("{flag}: cannot parse {v}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_the_historical_hardcoded_values() {
+        let parsed = CommonArgs::parse(&[], &[]).expect("empty args");
+        assert_eq!(parsed.seed, 0xD5_2018);
+        assert_eq!(parsed.trials, 200);
+        assert!(parsed.json.is_none());
+    }
+
+    #[test]
+    fn seed_parses_hex_and_decimal() {
+        assert_eq!(parse_u64("0xD5_2018"), Some(0xD5_2018));
+        assert_eq!(parse_u64("0Xff"), Some(255));
+        assert_eq!(parse_u64("1234"), Some(1234));
+        assert_eq!(parse_u64("12_34"), Some(1234));
+        assert_eq!(parse_u64("0xZZ"), None);
+        assert_eq!(parse_u64("nope"), None);
+
+        let parsed = CommonArgs::parse(&strings(&["--seed", "0xBEEF"]), &[]).expect("hex seed");
+        assert_eq!(parsed.seed, 0xBEEF);
+        let parsed = CommonArgs::parse(&strings(&["--seed", "99"]), &[]).expect("decimal seed");
+        assert_eq!(parsed.seed, 99);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_unless_declared() {
+        assert!(CommonArgs::parse(&strings(&["--workers", "4"]), &[]).is_err());
+        let parsed = CommonArgs::parse(&strings(&["--workers", "4"]), &["--workers"])
+            .expect("declared extra");
+        assert_eq!(
+            parsed.extra,
+            vec![("--workers".to_string(), "4".to_string())]
+        );
+        assert_eq!(parsed.extra_parsed("--workers", 1usize), Ok(4));
+        assert_eq!(parsed.extra_parsed("--seeds", 5usize), Ok(5));
+    }
+
+    #[test]
+    fn missing_values_and_bad_numbers_are_errors() {
+        assert!(CommonArgs::parse(&strings(&["--trials"]), &[]).is_err());
+        assert!(CommonArgs::parse(&strings(&["--trials", "many"]), &[]).is_err());
+        assert!(CommonArgs::parse(&strings(&["--seed", "0x"]), &[]).is_err());
+    }
+}

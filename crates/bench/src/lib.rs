@@ -10,6 +10,8 @@
 //! ```
 
 pub mod ablation;
+pub mod campaign;
+pub mod cli;
 pub mod figures;
 pub mod harness;
 pub mod json;

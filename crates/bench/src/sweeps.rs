@@ -106,15 +106,21 @@ pub fn alert_flood(seed: u64) -> String {
         "spoofs/s", "spoofs sent", "alerts", "alerts/s"
     ));
     for rate in [1u64, 5, 10, 20, 50] {
-        let outcome = floodsc::run(&FloodScenario {
-            spoof_rate_per_sec: rate,
-            run_for: Duration::from_secs(20),
-            ..FloodScenario::new(DefenseStack::TopoGuard, seed)
-        });
-        out.push_str(&format!(
-            "{:>14} {:>12} {:>12} {:>14.1}\n",
-            rate, outcome.spoofs_sent, outcome.alerts_total, outcome.alerts_per_sec
-        ));
+        // Isolated: one panicking rate point becomes a FAILED row and the
+        // sweep (and the driver behind it) continues.
+        match tm_campaign::isolate(|| {
+            floodsc::run(&FloodScenario {
+                spoof_rate_per_sec: rate,
+                run_for: Duration::from_secs(20),
+                ..FloodScenario::new(DefenseStack::TopoGuard, seed)
+            })
+        }) {
+            Ok(outcome) => out.push_str(&format!(
+                "{:>14} {:>12} {:>12} {:>14.1}\n",
+                rate, outcome.spoofs_sent, outcome.alerts_total, outcome.alerts_per_sec
+            )),
+            Err(cause) => out.push_str(&format!("{rate:>14} FAILED({cause})\n")),
+        }
     }
     out.push_str("\n(every spoofed frame is a migration with no Port-Down pre-condition: one alert\n each, and the operator cannot tell them from a real hijack)\n");
     out

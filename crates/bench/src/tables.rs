@@ -184,7 +184,7 @@ pub fn table3(seed: u64) -> String {
     out
 }
 
-fn measure_profile(profile: ControllerProfile, seed: u64) -> (f64, f64) {
+pub(crate) fn measure_profile(profile: ControllerProfile, seed: u64) -> (f64, f64) {
     let s1 = DatapathId::new(1);
     let s2 = DatapathId::new(2);
     let mut spec = NetworkSpec::new();

@@ -30,6 +30,24 @@ pub struct MatrixEntry {
     pub detected: bool,
     /// Total alerts observed.
     pub alerts: usize,
+    /// The cell's panic message, when its scenario crashed instead of
+    /// completing. A failed cell reports `FAILED(<cause>)` and the matrix
+    /// run continues — one bad cell must not take down the whole driver.
+    pub failure: Option<String>,
+}
+
+impl MatrixEntry {
+    /// A cell whose scenario panicked; outcome fields are zeroed.
+    fn failed(attack: &'static str, defense: String, cause: String) -> MatrixEntry {
+        MatrixEntry {
+            attack,
+            defense,
+            succeeded: false,
+            detected: false,
+            alerts: 0,
+            failure: Some(cause),
+        }
+    }
 }
 
 /// Runs the paper's matrix (5 stacks) with the given base seed. Each
@@ -57,27 +75,46 @@ pub fn run_matrix_with(stacks: &[DefenseStack], base_seed: u64) -> Vec<MatrixEnt
         ] {
             // The evaluation setting (§VII): Fig. 9 testbed, attack one
             // minute after bootstrap so defense baselines have formed.
-            let outcome = linkfab::run(&LinkFabScenario::paper_eval(mode, stack, seed));
-            entries.push(MatrixEntry {
-                attack: mode.name(),
-                defense: stack.to_string(),
-                succeeded: outcome.link_established,
-                detected: outcome.detected(),
-                alerts: outcome.alerts_total,
-            });
+            // Isolated: a panicking cell becomes a FAILED entry.
+            match tm_campaign::isolate(|| {
+                linkfab::run(&LinkFabScenario::paper_eval(mode, stack, seed))
+            }) {
+                Ok(outcome) => entries.push(MatrixEntry {
+                    attack: mode.name(),
+                    defense: stack.to_string(),
+                    succeeded: outcome.link_established,
+                    detected: outcome.detected(),
+                    alerts: outcome.alerts_total,
+                    failure: None,
+                }),
+                Err(cause) => {
+                    entries.push(MatrixEntry::failed(mode.name(), stack.to_string(), cause))
+                }
+            }
         }
 
-        let outcome = hijack::run(&HijackScenario {
-            victim_rejoins: false, // measure the stealth window itself
-            ..HijackScenario::new(stack, seed)
-        });
-        entries.push(MatrixEntry {
-            attack: "port-probing-hijack",
-            defense: stack.to_string(),
-            succeeded: outcome.hijack_succeeded(),
-            detected: outcome.alerts_before_rejoin > 0,
-            alerts: outcome.alerts_total,
-        });
+        match tm_campaign::isolate(|| {
+            hijack::run(&HijackScenario {
+                victim_rejoins: false, // measure the stealth window itself
+                ..HijackScenario::new(stack, seed)
+            })
+        }) {
+            Ok(outcome) => entries.push(MatrixEntry {
+                attack: "port-probing-hijack",
+                defense: stack.to_string(),
+                succeeded: outcome.hijack_succeeded(),
+                detected: outcome.alerts_before_rejoin > 0,
+                alerts: outcome.alerts_total,
+                failure: None,
+            }),
+            Err(cause) => {
+                entries.push(MatrixEntry::failed(
+                    "port-probing-hijack",
+                    stack.to_string(),
+                    cause,
+                ));
+            }
+        }
     }
     entries
 }
@@ -90,10 +127,59 @@ pub fn render(entries: &[MatrixEntry]) -> String {
         "attack", "defense", "succeeded", "detected", "alerts"
     ));
     for e in entries {
-        out.push_str(&format!(
-            "{:<22} {:<18} {:<10} {:<10} {:<7}\n",
-            e.attack, e.defense, e.succeeded, e.detected, e.alerts
-        ));
+        if let Some(cause) = &e.failure {
+            out.push_str(&format!(
+                "{:<22} {:<18} FAILED({cause})\n",
+                e.attack, e.defense
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<22} {:<18} {:<10} {:<10} {:<7}\n",
+                e.attack, e.defense, e.succeeded, e.detected, e.alerts
+            ));
+        }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_failed_cells_without_outcome_columns() {
+        let entries = vec![
+            MatrixEntry {
+                attack: "oob-amnesia",
+                defense: "TopoGuard".to_string(),
+                succeeded: true,
+                detected: false,
+                alerts: 0,
+                failure: None,
+            },
+            MatrixEntry::failed(
+                "in-band",
+                "TopoGuard".to_string(),
+                "deliberate failure".to_string(),
+            ),
+        ];
+        let text = render(&entries);
+        assert!(text.contains("true       false      0"), "{text}");
+        assert!(
+            text.contains("in-band                TopoGuard          FAILED(deliberate failure)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn a_panicking_cell_does_not_abort_the_matrix() {
+        // Drive the isolation path directly: the scenario closure panics,
+        // the entry records the cause.
+        let entry = match tm_campaign::isolate(|| -> bool { panic!("cell exploded") }) {
+            Ok(_) => unreachable!("closure panics"),
+            Err(cause) => MatrixEntry::failed("test-attack", "none".to_string(), cause),
+        };
+        assert_eq!(entry.failure.as_deref(), Some("cell exploded"));
+        assert!(!entry.succeeded && !entry.detected && entry.alerts == 0);
+    }
 }

@@ -1,0 +1,263 @@
+//! Streaming aggregation over the canonical merged run stream: per-cell
+//! summary statistics, confidence intervals, and the paper-style
+//! `value ± CI` text report.
+
+use tm_stats::{quantile, t_interval, Summary};
+
+use crate::registry::{GridPoint, Scenario};
+use crate::runner::{CampaignSpec, RunRecord, RunStatus};
+
+/// Aggregate statistics for one metric across a cell's successful seeds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricAggregate {
+    /// Metric name, as recorded by the adapter.
+    pub name: String,
+    /// Number of samples (successful runs recording this metric).
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Half-width of the Student-t interval on the mean at
+    /// [`CampaignReport::confidence`].
+    pub ci_half: f64,
+    /// Median (empirical, type-7).
+    pub q50: f64,
+}
+
+impl MetricAggregate {
+    /// `mean ± ci_half` with the given precision.
+    pub fn mean_pm_ci(&self, decimals: usize) -> String {
+        format!("{:.*} ± {:.*}", decimals, self.mean, decimals, self.ci_half)
+    }
+}
+
+/// Aggregates for one grid cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellReport {
+    /// Canonical cell index.
+    pub index: usize,
+    /// The cell's grid point.
+    pub point: GridPoint,
+    /// Seeds attempted.
+    pub seeds: usize,
+    /// Failed runs as `(seed, cause)`, in seed order.
+    pub failures: Vec<(u64, String)>,
+    /// Per-metric aggregates, in first-recorded order.
+    pub metrics: Vec<MetricAggregate>,
+}
+
+impl CellReport {
+    /// Successful run count.
+    pub fn ok(&self) -> usize {
+        self.seeds - self.failures.len()
+    }
+}
+
+/// The full campaign result: merged runs plus per-cell aggregates.
+///
+/// Everything here — including [`CampaignReport::render`] — is a pure
+/// function of the merged canonical run stream, so it is byte-identical
+/// for any worker count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario description (from the registry).
+    pub description: String,
+    /// The spec's base seed.
+    pub base_seed: u64,
+    /// Seeds per cell.
+    pub seeds: usize,
+    /// Confidence level of the intervals.
+    pub confidence: f64,
+    /// Per-cell aggregates, in canonical cell order.
+    pub cells: Vec<CellReport>,
+    /// The raw merged run stream, in canonical `(cell, seed)` order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// Total failed runs across all cells.
+    pub fn total_failures(&self) -> usize {
+        self.cells.iter().map(|c| c.failures.len()).sum()
+    }
+
+    /// Renders the paper-style report: one block per cell, one
+    /// `metric  mean ± CI` line per metric, failures called out inline.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "CAMPAIGN {name}: {cells} cells x {seeds} seeds (base seed {seed:#x}, {conf:.0}% CI)\n",
+            name = self.scenario,
+            cells = self.cells.len(),
+            seeds = self.seeds,
+            seed = self.base_seed,
+            conf = self.confidence * 100.0,
+        );
+        out.push_str(&format!("  {}\n\n", self.description));
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "[{label}] seeds={seeds} ok={ok} failed={failed}\n",
+                label = cell.point.label(),
+                seeds = cell.seeds,
+                ok = cell.ok(),
+                failed = cell.failures.len(),
+            ));
+            for m in &cell.metrics {
+                out.push_str(&format!(
+                    "  {name:<28} {pm:>24}  (n={n}, sd {sd:.3}, min {min:.3}, q50 {q50:.3}, max {max:.3})\n",
+                    name = m.name,
+                    pm = m.mean_pm_ci(3),
+                    n = m.n,
+                    sd = m.sd,
+                    min = m.min,
+                    q50 = m.q50,
+                    max = m.max,
+                ));
+            }
+            for (seed, cause) in &cell.failures {
+                out.push_str(&format!("  FAILED(seed {seed:#018x}): {cause}\n"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "total: {ok}/{all} runs ok, {failed} failed\n",
+            ok = self.runs.len() - self.total_failures(),
+            all = self.runs.len(),
+            failed = self.total_failures(),
+        ));
+        out
+    }
+}
+
+/// Folds the canonical run stream into per-cell aggregates.
+pub(crate) fn aggregate(
+    scenario: &Scenario,
+    spec: &CampaignSpec,
+    cells: Vec<GridPoint>,
+    runs: Vec<RunRecord>,
+) -> CampaignReport {
+    let mut cell_reports = Vec::with_capacity(cells.len());
+    for (index, point) in cells.into_iter().enumerate() {
+        let cell_runs = &runs[index * spec.seeds..(index + 1) * spec.seeds];
+
+        // Metric order: first recorded across the cell's runs, canonical.
+        let mut names: Vec<&str> = Vec::new();
+        for run in cell_runs {
+            if let RunStatus::Ok(metrics) = &run.status {
+                for (name, _) in metrics.entries() {
+                    if !names.contains(&name.as_str()) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+
+        let metrics = names
+            .iter()
+            .map(|name| {
+                let samples: Vec<f64> = cell_runs
+                    .iter()
+                    .filter_map(|run| match &run.status {
+                        RunStatus::Ok(metrics) => metrics.get(name),
+                        RunStatus::Failed(_) => None,
+                    })
+                    .collect();
+                let s = Summary::of(&samples);
+                let ci_half = t_interval(&samples, spec.confidence)
+                    .map(|ci| ci.half_width)
+                    .unwrap_or(0.0);
+                MetricAggregate {
+                    name: name.to_string(),
+                    n: s.count,
+                    mean: s.mean,
+                    sd: s.sd,
+                    min: s.min,
+                    max: s.max,
+                    ci_half,
+                    q50: quantile(&samples, 0.5).unwrap_or(0.0),
+                }
+            })
+            .collect();
+
+        let failures = cell_runs
+            .iter()
+            .filter_map(|run| match &run.status {
+                RunStatus::Failed(cause) => Some((run.seed, cause.clone())),
+                RunStatus::Ok(_) => None,
+            })
+            .collect();
+
+        cell_reports.push(CellReport {
+            index,
+            point,
+            seeds: spec.seeds,
+            failures,
+            metrics,
+        });
+    }
+    CampaignReport {
+        scenario: scenario.name.clone(),
+        description: scenario.description.clone(),
+        base_seed: spec.base_seed,
+        seeds: spec.seeds,
+        confidence: spec.confidence,
+        cells: cell_reports,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Axis, Metrics, Registry, Scenario};
+    use crate::runner::run_campaign;
+
+    fn one_cell_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(Scenario::new(
+            "lin",
+            "seed modulo grid",
+            vec![Axis::new("k", &["2", "3"])],
+            |point, seed| {
+                let k: u64 = point.get("k").and_then(|v| v.parse().ok()).unwrap_or(1);
+                Metrics::new().with("m", (seed % k) as f64)
+            },
+        ))
+        .expect("register");
+        r
+    }
+
+    #[test]
+    fn aggregates_follow_the_merged_stream() {
+        let mut spec = CampaignSpec::new("lin", 11);
+        spec.seeds = 4;
+        let report = run_campaign(&one_cell_registry(), &spec).expect("campaign");
+        assert_eq!(report.cells.len(), 2);
+        let cell = &report.cells[0];
+        assert_eq!(cell.ok(), 4);
+        let expect: Vec<f64> = (0..4)
+            .map(|k| (tm_rand::stream_seed(11, k) % 2) as f64)
+            .collect();
+        let s = Summary::of(&expect);
+        assert_eq!(cell.metrics[0].n, 4);
+        assert!((cell.metrics[0].mean - s.mean).abs() < 1e-12);
+        assert!((cell.metrics[0].sd - s.sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_cells_metrics_and_totals() {
+        let mut spec = CampaignSpec::new("lin", 11);
+        spec.seeds = 3;
+        let report = run_campaign(&one_cell_registry(), &spec).expect("campaign");
+        let text = report.render();
+        assert!(text.contains("CAMPAIGN lin: 2 cells x 3 seeds"), "{text}");
+        assert!(text.contains("[k=2]"), "{text}");
+        assert!(text.contains("[k=3]"), "{text}");
+        assert!(text.contains("total: 6/6 runs ok, 0 failed"), "{text}");
+    }
+}

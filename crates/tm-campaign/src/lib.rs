@@ -1,0 +1,90 @@
+//! The campaign runner: (scenario × parameter-grid × seed-range) batch
+//! execution with a worker-thread pool, per-run panic isolation, and
+//! deterministic streaming aggregation.
+//!
+//! Every other crate in this workspace is single-threaded by contract —
+//! the simulation must be a pure function of `(scenario, seed)`. This
+//! crate is the one deliberate exception, and it preserves the contract
+//! one level up: a **campaign's output is a pure function of (spec,
+//! base seed)**, regardless of worker count or OS scheduling. Three
+//! mechanisms make that true:
+//!
+//! 1. **Per-run seed derivation.** Run `k` of a campaign draws its seed
+//!    as [`tm_rand::stream_seed`]`(base, k)` — a pure function of the
+//!    base seed and the run's canonical index, never of which thread
+//!    picks the run up or when.
+//! 2. **Single-threaded runs.** Each worker executes one fully
+//!    sequential, deterministic simulation at a time; threads never share
+//!    simulation state. The pool only distributes *which* runs execute
+//!    where.
+//! 3. **Canonical-order merge.** Results are placed into a slot indexed
+//!    by `(grid-cell, seed-index)` and aggregated by walking those slots
+//!    in order, so the merged stream — and therefore every aggregate,
+//!    table and JSON record derived from it — is byte-identical for
+//!    `--workers 1` and `--workers 8`. A regression test pins this.
+//!
+//! Failure isolation: each run executes under [`isolate`]
+//! (`catch_unwind`), so one panicking parameter point becomes a reported
+//! `FAILED(<cause>)` cell instead of killing the whole campaign. The same
+//! wrapper is exported for serial drivers (the detection matrix, the
+//! sweeps) that want per-cell isolation without the pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod registry;
+pub mod runner;
+
+pub use aggregate::{CampaignReport, CellReport, MetricAggregate};
+pub use registry::{Axis, GridPoint, Metrics, Registry, Scenario};
+pub use runner::{run_campaign, CampaignSpec, RunRecord, RunStatus};
+
+/// Runs `f` with panics captured as errors.
+///
+/// The returned `Err` carries the panic message (for `panic!("…")` and
+/// `assert!` payloads; other payload types report a placeholder), which
+/// drivers render as `FAILED(<cause>)` in the affected table cell. The
+/// message is a pure function of the panic site, so isolated failures do
+/// not break output determinism.
+pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolate_passes_values_through() {
+        assert_eq!(isolate(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn isolate_captures_str_and_string_panics() {
+        let quiet = runner::SilencedPanics::new();
+        assert_eq!(
+            isolate(|| panic!("static cause")),
+            Err::<(), _>("static cause".into())
+        );
+        let n = 7;
+        assert_eq!(
+            isolate(|| panic!("cell {n} bad")),
+            Err::<(), _>("cell 7 bad".into())
+        );
+        drop(quiet);
+    }
+}

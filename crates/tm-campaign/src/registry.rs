@@ -1,0 +1,255 @@
+//! The typed scenario registry: named scenarios, their parameter grids,
+//! and the run functions that execute one `(grid-point, seed)` cell.
+//!
+//! The registry keeps the campaign engine generic: `tm-campaign` knows
+//! nothing about SDN scenarios. Adapters (in `bench::campaign`) register
+//! closures that translate a [`GridPoint`] into concrete scenario structs
+//! (`tm_core::linkfab::LinkFabScenario`, …) and reduce the outcome to a
+//! flat, insertion-ordered list of named metrics.
+
+use std::sync::Arc;
+
+/// One named parameter axis and its value labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Axis {
+    /// Axis name (e.g. `stack`).
+    pub name: String,
+    /// The values swept, in grid order (e.g. defense-stack names).
+    pub values: Vec<String>,
+}
+
+impl Axis {
+    /// Convenience constructor from string slices.
+    pub fn new(name: &str, values: &[&str]) -> Axis {
+        Axis {
+            name: name.to_string(),
+            values: values.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+}
+
+/// One point of a scenario's parameter grid: a `(axis, value)` pair per
+/// axis, in axis order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridPoint {
+    /// The coordinates, one per axis.
+    pub coords: Vec<(String, String)>,
+}
+
+impl GridPoint {
+    /// The value of the named axis, if present.
+    pub fn get(&self, axis: &str) -> Option<&str> {
+        self.coords
+            .iter()
+            .find(|(a, _)| a == axis)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A stable display label: `axis=value` pairs joined by spaces, or
+    /// `(default)` for a zero-axis scenario.
+    pub fn label(&self) -> String {
+        if self.coords.is_empty() {
+            return "(default)".to_string();
+        }
+        self.coords
+            .iter()
+            .map(|(a, v)| format!("{a}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// The flat, insertion-ordered metric record one run produces.
+///
+/// Insertion order is preserved end-to-end (aggregation, tables, JSON),
+/// so adapters control how their metrics read in reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    entries: Vec<(String, f64)>,
+}
+
+impl Metrics {
+    /// An empty record.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Appends a metric. Boolean outcomes are recorded as 0.0/1.0 so
+    /// their mean across seeds reads as a rate.
+    pub fn push(&mut self, name: &str, value: f64) {
+        self.entries.push((name.to_string(), value));
+    }
+
+    /// Builder-style [`Metrics::push`].
+    pub fn with(mut self, name: &str, value: f64) -> Metrics {
+        self.push(name, value);
+        self
+    }
+
+    /// The recorded `(name, value)` pairs in insertion order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// The value of the named metric, if recorded.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The run function type: executes one `(grid-point, seed)` cell.
+///
+/// Must be a *pure function* of its arguments (the determinism contract;
+/// see the crate docs) and must run fully single-threaded. It is invoked
+/// from worker threads, hence `Send + Sync`.
+pub type RunFn = Arc<dyn Fn(&GridPoint, u64) -> Metrics + Send + Sync>;
+
+/// A registered scenario: name, parameter grid, and run function.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Registry key (e.g. `linkfab-fig1`).
+    pub name: String,
+    /// One-line description for listings.
+    pub description: String,
+    /// The parameter axes; the grid is their cartesian product. May be
+    /// empty (a single-cell scenario).
+    pub axes: Vec<Axis>,
+    /// Executes one cell.
+    pub run: RunFn,
+}
+
+impl Scenario {
+    /// Constructs a scenario from a plain closure.
+    pub fn new(
+        name: &str,
+        description: &str,
+        axes: Vec<Axis>,
+        run: impl Fn(&GridPoint, u64) -> Metrics + Send + Sync + 'static,
+    ) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            description: description.to_string(),
+            axes,
+            run: Arc::new(run),
+        }
+    }
+
+    /// Enumerates the full grid in canonical order: the cartesian product
+    /// of the axes with the **last axis varying fastest** (row-major).
+    /// This order, not scheduling, defines result placement.
+    pub fn cells(&self) -> Vec<GridPoint> {
+        let mut points = vec![GridPoint { coords: Vec::new() }];
+        for axis in &self.axes {
+            let mut next = Vec::with_capacity(points.len() * axis.values.len());
+            for point in &points {
+                for value in &axis.values {
+                    let mut coords = point.coords.clone();
+                    coords.push((axis.name.clone(), value.clone()));
+                    next.push(GridPoint { coords });
+                }
+            }
+            points = next;
+        }
+        points
+    }
+}
+
+/// The scenario registry, in registration order.
+#[derive(Clone, Default)]
+pub struct Registry {
+    scenarios: Vec<Scenario>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a scenario. Duplicate names are rejected so lookups stay
+    /// unambiguous.
+    pub fn register(&mut self, scenario: Scenario) -> Result<(), String> {
+        if self.get(&scenario.name).is_some() {
+            return Err(format!("scenario `{}` already registered", scenario.name));
+        }
+        self.scenarios.push(scenario);
+        Ok(())
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// All scenarios in registration order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_axis_scenario() -> Scenario {
+        Scenario::new(
+            "t",
+            "test",
+            vec![
+                Axis::new("a", &["x", "y"]),
+                Axis::new("b", &["0", "1", "2"]),
+            ],
+            |_, _| Metrics::new(),
+        )
+    }
+
+    #[test]
+    fn cells_enumerate_row_major() {
+        let labels: Vec<String> = two_axis_scenario()
+            .cells()
+            .iter()
+            .map(GridPoint::label)
+            .collect();
+        assert_eq!(
+            labels,
+            ["a=x b=0", "a=x b=1", "a=x b=2", "a=y b=0", "a=y b=1", "a=y b=2"]
+        );
+    }
+
+    #[test]
+    fn zero_axis_scenario_has_one_default_cell() {
+        let s = Scenario::new("one", "single cell", Vec::new(), |_, _| Metrics::new());
+        let cells = s.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].label(), "(default)");
+    }
+
+    #[test]
+    fn grid_point_lookup() {
+        let cells = two_axis_scenario().cells();
+        assert_eq!(cells[4].get("a"), Some("y"));
+        assert_eq!(cells[4].get("b"), Some("1"));
+        assert_eq!(cells[4].get("c"), None);
+    }
+
+    #[test]
+    fn metrics_preserve_insertion_order() {
+        let m = Metrics::new().with("z", 1.0).with("a", 2.0);
+        let names: Vec<&str> = m.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["z", "a"]);
+        assert_eq!(m.get("a"), Some(2.0));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates() {
+        let mut r = Registry::new();
+        r.register(two_axis_scenario()).expect("first registration");
+        assert!(r.register(two_axis_scenario()).is_err());
+        assert!(r.get("t").is_some());
+        assert_eq!(r.scenarios().len(), 1);
+    }
+}

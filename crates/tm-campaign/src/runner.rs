@@ -1,0 +1,249 @@
+//! The worker-pool executor: fans `(grid-cell, seed)` runs out across a
+//! fixed-size thread pool and merges results in canonical order.
+//!
+//! Threading model (the determinism argument, also in DESIGN.md):
+//!
+//! * The canonical run list — cell-major, seed-minor — is enumerated
+//!   up front. Run `k`'s seed is [`tm_rand::stream_seed`]`(base, k)`, a
+//!   pure function of the spec.
+//! * Workers pull run *indices* from an atomic counter. Which worker
+//!   executes which run, and in what real-time order runs finish, is
+//!   scheduler-dependent — but each run is a self-contained,
+//!   single-threaded pure function, and its result is written into the
+//!   slot for index `k`.
+//! * After the pool joins, the slots are read out `0..n`: the merged
+//!   stream is identical for any worker count, so everything derived from
+//!   it is too.
+//!
+//! Each run body executes under [`crate::isolate`], so a panic in one
+//! parameter point is recorded as [`RunStatus::Failed`] with its message
+//! and the campaign continues.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::aggregate::{aggregate, CampaignReport};
+use crate::registry::{Metrics, Registry};
+
+/// A campaign specification: which scenario, how many seeds per cell, and
+/// how wide the pool is.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Registry name of the scenario to run.
+    pub scenario: String,
+    /// Base seed; per-run seeds are derived via `stream_seed(base, k)`.
+    pub base_seed: u64,
+    /// Seeds per grid cell (≥ 1).
+    pub seeds: usize,
+    /// Worker threads (≥ 1). Affects wall-clock only, never output.
+    pub workers: usize,
+    /// Confidence level for the per-cell intervals (e.g. 0.95).
+    pub confidence: f64,
+    /// Suppress the default panic hook's backtrace spam while the pool
+    /// runs (isolated failures are *reported*, not printed). Leave off in
+    /// test binaries, which share the process-global hook.
+    pub quiet_panics: bool,
+}
+
+impl CampaignSpec {
+    /// A spec with the workspace defaults: 5 seeds, 1 worker, 95 % CI.
+    pub fn new(scenario: &str, base_seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            scenario: scenario.to_string(),
+            base_seed,
+            seeds: 5,
+            workers: 1,
+            confidence: 0.95,
+            quiet_panics: false,
+        }
+    }
+}
+
+/// The outcome of one isolated run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunStatus {
+    /// The run completed and produced metrics.
+    Ok(Metrics),
+    /// The run panicked; the payload message is the cause.
+    Failed(String),
+}
+
+/// One run of the campaign, in canonical order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Grid-cell index (into [`crate::Scenario::cells`]).
+    pub cell: usize,
+    /// Seed index within the cell (`0..spec.seeds`).
+    pub seed_index: usize,
+    /// The derived per-run seed.
+    pub seed: u64,
+    /// What happened.
+    pub status: RunStatus,
+}
+
+/// A saved process panic hook, as returned by `std::panic::take_hook`.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// RAII guard that replaces the process panic hook with a silent one and
+/// restores the previous hook on drop.
+///
+/// The hook is process-global state: use this only in drivers that own
+/// the process (the `experiments` binary), not in library defaults.
+pub struct SilencedPanics {
+    prev: Option<PanicHook>,
+}
+
+impl SilencedPanics {
+    /// Installs the silent hook.
+    pub fn new() -> SilencedPanics {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        SilencedPanics { prev: Some(prev) }
+    }
+}
+
+impl Default for SilencedPanics {
+    fn default() -> Self {
+        SilencedPanics::new()
+    }
+}
+
+impl Drop for SilencedPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+/// Runs a campaign to completion and aggregates the merged result stream.
+///
+/// Fails (with a message, never a panic) on an unknown scenario, a
+/// zero-seed spec, or an internal pool error. Individual run panics do
+/// *not* fail the campaign; they surface as failed cells in the report.
+pub fn run_campaign(registry: &Registry, spec: &CampaignSpec) -> Result<CampaignReport, String> {
+    let scenario = registry
+        .get(&spec.scenario)
+        .ok_or_else(|| format!("unknown scenario `{}`", spec.scenario))?;
+    if spec.seeds == 0 {
+        return Err("campaign needs at least one seed per cell".to_string());
+    }
+    if !(spec.confidence > 0.0 && spec.confidence < 1.0) {
+        return Err(format!("confidence {} outside (0, 1)", spec.confidence));
+    }
+    let workers = spec.workers.max(1);
+    let cells = scenario.cells();
+    let n_runs = cells.len() * spec.seeds;
+
+    let _quiet = if spec.quiet_panics {
+        Some(SilencedPanics::new())
+    } else {
+        None
+    };
+
+    // Fan out: workers claim canonical run indices from a shared counter
+    // and collect `(index, status)` locally — no shared mutable results,
+    // no locks on the hot path.
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<RunStatus>> = vec![None; n_runs];
+    let run_one = |k: usize| -> RunStatus {
+        let cell = k / spec.seeds;
+        let seed = tm_rand::stream_seed(spec.base_seed, k as u64);
+        match crate::isolate(|| (scenario.run)(&cells[cell], seed)) {
+            Ok(metrics) => RunStatus::Ok(metrics),
+            Err(cause) => RunStatus::Failed(cause),
+        }
+    };
+    let pool_result: Result<Vec<Vec<(usize, RunStatus)>>, String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n_runs {
+                            break;
+                        }
+                        done.push((k, run_one(k)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "campaign worker died outside run isolation".to_string())
+            })
+            .collect()
+    });
+
+    // Canonical merge: slot placement by index, then an ordered walk.
+    for (k, status) in pool_result?.into_iter().flatten() {
+        slots[k] = Some(status);
+    }
+    let mut runs = Vec::with_capacity(n_runs);
+    for (k, slot) in slots.into_iter().enumerate() {
+        let status = slot.ok_or_else(|| format!("run {k} produced no result"))?;
+        runs.push(RunRecord {
+            cell: k / spec.seeds,
+            seed_index: k % spec.seeds,
+            seed: tm_rand::stream_seed(spec.base_seed, k as u64),
+            status,
+        });
+    }
+    Ok(aggregate(scenario, spec, cells, runs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Axis, Scenario};
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(Scenario::new(
+            "synthetic",
+            "pure arithmetic on the seed",
+            vec![Axis::new("a", &["x", "y"])],
+            |point, seed| {
+                let bias = if point.get("a") == Some("x") {
+                    1.0
+                } else {
+                    2.0
+                };
+                Metrics::new()
+                    .with("value", bias * (seed % 1000) as f64)
+                    .with("flag", f64::from(u8::from(seed % 2 == 0)))
+            },
+        ))
+        .expect("register");
+        r
+    }
+
+    #[test]
+    fn unknown_scenario_and_bad_spec_are_errors() {
+        let r = registry();
+        assert!(run_campaign(&r, &CampaignSpec::new("missing", 1)).is_err());
+        let mut zero_seeds = CampaignSpec::new("synthetic", 1);
+        zero_seeds.seeds = 0;
+        assert!(run_campaign(&r, &zero_seeds).is_err());
+        let mut bad_conf = CampaignSpec::new("synthetic", 1);
+        bad_conf.confidence = 1.0;
+        assert!(run_campaign(&r, &bad_conf).is_err());
+    }
+
+    #[test]
+    fn runs_enumerate_cell_major_with_derived_seeds() {
+        let mut spec = CampaignSpec::new("synthetic", 0xC0FFEE);
+        spec.seeds = 3;
+        let report = run_campaign(&registry(), &spec).expect("campaign");
+        assert_eq!(report.runs.len(), 6);
+        for (k, run) in report.runs.iter().enumerate() {
+            assert_eq!(run.cell, k / 3);
+            assert_eq!(run.seed_index, k % 3);
+            assert_eq!(run.seed, tm_rand::stream_seed(0xC0FFEE, k as u64));
+            assert!(matches!(run.status, RunStatus::Ok(_)));
+        }
+    }
+}
