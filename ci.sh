@@ -6,6 +6,9 @@ set -eux
 
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
+# Documentation is part of the contract: broken intra-doc links or missing
+# docs on public items fail the build. Fully offline, no deps to fetch.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 cargo run -q -p tm-lint --offline
 cargo build --release --offline
 cargo test -q --offline --workspace

@@ -49,9 +49,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <id> [--trials N] [--seed HEX] [--json FILE]\n\
          ids: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13\n\
-              matrix matrix_extended scan_detection alert_flood downtime ablations\n\
-              ablation_lli ablation_amnesia ablation_timeout metrics all\n\
-              campaign <scenario|smoke|list> [--seeds N] [--workers N] [--confidence P]"
+              matrix matrix_extended fault_matrix scan_detection alert_flood downtime\n\
+              ablations ablation_lli ablation_amnesia ablation_timeout metrics all\n\
+              campaign <scenario|smoke|faults|list> [--seeds N] [--workers N] [--confidence P]"
     );
     std::process::exit(2);
 }
@@ -96,6 +96,8 @@ fn campaign_cmd(args: &[String]) {
 
     let names: Vec<&str> = if target == "smoke" {
         campaign::SMOKE_SCENARIOS.to_vec()
+    } else if target == "faults" {
+        campaign::FAULT_SCENARIOS.to_vec()
     } else {
         vec![target.as_str()]
     };
@@ -186,6 +188,22 @@ fn main() {
             let entries = matrix::run_matrix_extended(seed);
             println!("{}", matrix::render(&entries));
             write_json(&json_path, &entries);
+        }
+        "fault_matrix" => {
+            // The detection matrix re-run under each degraded-network
+            // profile: does detection survive loss, jitter, congestion,
+            // and switch restarts?
+            let mut all = Vec::new();
+            for profile in tm_core::FaultProfile::MATRIX_SWEEP {
+                println!(
+                    "DETECTION MATRIX under fault profile: {}\n",
+                    profile.label()
+                );
+                let entries = matrix::run_matrix_under(profile, seed);
+                println!("{}", matrix::render(&entries));
+                all.extend(entries);
+            }
+            write_json(&json_path, &all);
         }
         "scan_detection" => println!("{}", sweeps::scan_detection()),
         "alert_flood" => println!("{}", sweeps::alert_flood(seed)),

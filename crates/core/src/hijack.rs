@@ -22,6 +22,7 @@ use netsim::Simulator;
 use sdn_types::{Duration, SimTime};
 
 use crate::defense::DefenseStack;
+use crate::robustness::{FaultProfile, ProfileTargets};
 use crate::testbed;
 
 /// Scenario parameters.
@@ -41,6 +42,9 @@ pub struct HijackScenario {
     pub victim_rejoins: bool,
     /// How long to run after the victim (maybe) rejoins.
     pub tail: Duration,
+    /// Network degradation active for the whole run ([`FaultProfile::Clean`]
+    /// leaves the trace byte-identical to the pre-fault-layer simulator).
+    pub faults: FaultProfile,
 }
 
 impl HijackScenario {
@@ -53,6 +57,7 @@ impl HijackScenario {
             downtime: Duration::from_secs(2),
             victim_rejoins: true,
             tail: Duration::from_secs(5),
+            faults: FaultProfile::Clean,
         }
     }
 }
@@ -161,7 +166,11 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
     spec.set_host_app(ids.victim_new, Box::new(netsim::NullHostApp));
     spec.set_telemetry(tm_telemetry::Telemetry::new());
 
-    let mut sim = Simulator::new(spec, scenario.seed);
+    let run_end = scenario.victim_down_at + scenario.downtime + scenario.tail;
+    let plan = scenario
+        .faults
+        .plan(&ProfileTargets::hijack(), SimTime::ZERO, run_end);
+    let mut sim = Simulator::with_fault_plan(spec, scenario.seed, plan);
     // The migration-destination NIC starts down.
     sim.host_iface_down(ids.victim_new);
 

@@ -14,6 +14,10 @@
 //! * [`hijack`] — the Port Probing / host-location-hijacking scenario with
 //!   the full Fig. 3 timeline instrumentation.
 //! * [`matrix`] — the headline attack × defense detection matrix.
+//! * [`robustness`] — fault profiles (trunk loss, jitter, flaps, control
+//!   congestion, switch restarts) and benign-traffic false-positive
+//!   scenarios; every scenario in this crate can run under a profile, and
+//!   [`matrix::run_matrix_under`] re-runs the whole matrix per profile.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,10 +28,12 @@ pub mod hijack;
 pub mod induced;
 pub mod linkfab;
 pub mod matrix;
+pub mod robustness;
 pub mod testbed;
 
 pub use defense::DefenseStack;
 pub use floodsc::{FloodOutcome, FloodScenario};
 pub use hijack::{HijackOutcome, HijackScenario};
 pub use linkfab::{LinkFabOutcome, LinkFabScenario, RelayMode};
-pub use matrix::{run_matrix, MatrixEntry};
+pub use matrix::{run_matrix, run_matrix_under, MatrixEntry};
+pub use robustness::{FaultProfile, ProfileTargets, RobustnessOutcome, RobustnessScenario};

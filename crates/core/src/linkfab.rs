@@ -14,9 +14,10 @@ use attacks::{InBandRelayAttacker, OobRelayAttacker, RelayConfig, RelayStats};
 use controller::{AlertKind, ControllerConfig, ControllerProfile, DirectedLink, SdnController};
 use netsim::apps::PeriodicPinger;
 use netsim::Simulator;
-use sdn_types::Duration;
+use sdn_types::{Duration, SimTime};
 
 use crate::defense::DefenseStack;
+use crate::robustness::{FaultProfile, ProfileTargets};
 use crate::testbed;
 
 /// Which relay variant to run.
@@ -78,6 +79,9 @@ pub struct LinkFabScenario {
     /// The controller's timing personality (Table III). The attack is
     /// cadence-agnostic: it relays whatever LLDP the controller sends.
     pub profile: ControllerProfile,
+    /// Network degradation active for the whole run ([`FaultProfile::Clean`]
+    /// leaves the trace byte-identical to the pre-fault-layer simulator).
+    pub faults: FaultProfile,
 }
 
 impl LinkFabScenario {
@@ -93,6 +97,7 @@ impl LinkFabScenario {
             run_for: Duration::from_secs(40),
             benign_traffic: true,
             profile: ControllerProfile::FLOODLIGHT,
+            faults: FaultProfile::Clean,
         }
     }
 
@@ -109,6 +114,7 @@ impl LinkFabScenario {
             run_for: Duration::from_secs(150),
             benign_traffic: true,
             profile: ControllerProfile::FLOODLIGHT,
+            faults: FaultProfile::Clean,
         }
     }
 }
@@ -169,6 +175,17 @@ pub fn run(scenario: &LinkFabScenario) -> LinkFabOutcome {
         FabTopology::Fig1 => run_oob_fig1(scenario),
         FabTopology::Fig9 => run_oob_fig9(scenario),
     }
+}
+
+fn build_sim(
+    spec: netsim::NetworkSpec,
+    scenario: &LinkFabScenario,
+    targets: &ProfileTargets,
+) -> Simulator {
+    let plan = scenario
+        .faults
+        .plan(targets, SimTime::ZERO, SimTime::ZERO + scenario.run_for);
+    Simulator::with_fault_plan(spec, scenario.seed, plan)
 }
 
 fn scenario_config(scenario: &LinkFabScenario) -> ControllerConfig {
@@ -251,7 +268,7 @@ fn run_oob_fig1(scenario: &LinkFabScenario) -> LinkFabOutcome {
         );
     }
     spec.set_telemetry(tm_telemetry::Telemetry::new());
-    let mut sim = Simulator::new(spec, scenario.seed);
+    let mut sim = build_sim(spec, scenario, &ProfileTargets::fig1());
     sim.run_for(scenario.run_for);
     let stats_a = sim
         .host_app_as::<OobRelayAttacker>(ids.attacker_a)
@@ -297,7 +314,7 @@ fn run_oob_fig9(scenario: &LinkFabScenario) -> LinkFabOutcome {
         );
     }
     spec.set_telemetry(tm_telemetry::Telemetry::new());
-    let mut sim = Simulator::new(spec, scenario.seed);
+    let mut sim = build_sim(spec, scenario, &ProfileTargets::fig9());
     sim.run_for(scenario.run_for);
     let stats_a = sim
         .host_app_as::<OobRelayAttacker>(ids.attacker_a)
@@ -336,7 +353,7 @@ fn run_in_band(scenario: &LinkFabScenario) -> LinkFabOutcome {
         );
     }
     spec.set_telemetry(tm_telemetry::Telemetry::new());
-    let mut sim = Simulator::new(spec, scenario.seed);
+    let mut sim = build_sim(spec, scenario, &ProfileTargets::fig9());
     sim.run_for(scenario.run_for);
     let stats_a = sim
         .host_app_as::<InBandRelayAttacker>(ids.attacker_a)

@@ -15,6 +15,7 @@
 use crate::defense::DefenseStack;
 use crate::hijack::{self, HijackScenario};
 use crate::linkfab::{self, LinkFabScenario, RelayMode};
+use crate::robustness::FaultProfile;
 
 /// One matrix cell.
 #[derive(Clone, Debug)]
@@ -62,8 +63,24 @@ pub fn run_matrix_extended(base_seed: u64) -> Vec<MatrixEntry> {
     run_matrix_with(&DefenseStack::ALL_EXTENDED, base_seed)
 }
 
-/// Runs the matrix over an explicit stack list.
+/// Runs the matrix over an explicit stack list (on a clean network).
 pub fn run_matrix_with(stacks: &[DefenseStack], base_seed: u64) -> Vec<MatrixEntry> {
+    run_matrix_impl(stacks, base_seed, FaultProfile::Clean)
+}
+
+/// Re-runs the full matrix (5 stacks) with every scenario degraded by
+/// `profile` — does detection survive a network that is lossy, jittery, or
+/// congested? `experiments fault_matrix` sweeps this over
+/// [`FaultProfile::MATRIX_SWEEP`].
+pub fn run_matrix_under(profile: FaultProfile, base_seed: u64) -> Vec<MatrixEntry> {
+    run_matrix_impl(&DefenseStack::ALL, base_seed, profile)
+}
+
+fn run_matrix_impl(
+    stacks: &[DefenseStack],
+    base_seed: u64,
+    faults: FaultProfile,
+) -> Vec<MatrixEntry> {
     let mut entries = Vec::new();
     for (i, stack) in stacks.iter().copied().enumerate() {
         let seed = base_seed.wrapping_add(i as u64 * 1009);
@@ -77,7 +94,10 @@ pub fn run_matrix_with(stacks: &[DefenseStack], base_seed: u64) -> Vec<MatrixEnt
             // minute after bootstrap so defense baselines have formed.
             // Isolated: a panicking cell becomes a FAILED entry.
             match tm_campaign::isolate(|| {
-                linkfab::run(&LinkFabScenario::paper_eval(mode, stack, seed))
+                linkfab::run(&LinkFabScenario {
+                    faults,
+                    ..LinkFabScenario::paper_eval(mode, stack, seed)
+                })
             }) {
                 Ok(outcome) => entries.push(MatrixEntry {
                     attack: mode.name(),
@@ -96,6 +116,7 @@ pub fn run_matrix_with(stacks: &[DefenseStack], base_seed: u64) -> Vec<MatrixEnt
         match tm_campaign::isolate(|| {
             hijack::run(&HijackScenario {
                 victim_rejoins: false, // measure the stealth window itself
+                faults,
                 ..HijackScenario::new(stack, seed)
             })
         }) {

@@ -48,7 +48,10 @@ impl ControllerCtx<'_> {
         let Some(sw) = self.net.switches.get(&dpid) else {
             return false;
         };
-        let latency = sw.ctrl_latency;
+        // Control-channel congestion faults add queuing delay on the way
+        // down (PacketOut direction).
+        let latency =
+            sw.ctrl_latency + self.net.faults.ctrl_extra_delay(dpid, &self.core.telemetry);
         self.core
             .schedule(latency, Event::CtrlToSwitch { dpid, msg });
         true

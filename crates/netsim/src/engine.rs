@@ -103,6 +103,41 @@ pub(crate) enum Event {
         /// New identity to assume, if the bring-up changes identifiers.
         identity: Option<(MacAddr, IpAddr)>,
     },
+    /// A windowed fault (loss / latency spike / control congestion)
+    /// activates.
+    FaultWindowStart {
+        /// Which fault table the index points into.
+        kind: crate::faults::FaultWindowKind,
+        /// Index into that table of the installed plan.
+        index: usize,
+    },
+    /// A windowed fault deactivates.
+    FaultWindowEnd {
+        /// Which fault table the index points into.
+        kind: crate::faults::FaultWindowKind,
+        /// Index into that table of the installed plan.
+        index: usize,
+    },
+    /// An injected link flap takes the port down.
+    FaultLinkDown {
+        /// Index into the plan's flap table.
+        index: usize,
+    },
+    /// An injected link flap brings the port back up.
+    FaultLinkUp {
+        /// Index into the plan's flap table.
+        index: usize,
+    },
+    /// An injected switch restart wipes the flow table.
+    FaultSwitchRestart {
+        /// Index into the plan's restart table.
+        index: usize,
+    },
+    /// A restarted switch re-runs its controller handshake.
+    FaultSwitchReconnect {
+        /// Index into the plan's restart table.
+        index: usize,
+    },
 }
 
 impl Event {
@@ -120,6 +155,12 @@ impl Event {
             Event::PulseCheck { .. } => "netsim.event.pulse_check",
             Event::PulseCheckUp { .. } => "netsim.event.pulse_check_up",
             Event::HostIfaceUp { .. } => "netsim.event.host_iface_up",
+            Event::FaultWindowStart { .. } => "netsim.event.fault_window_start",
+            Event::FaultWindowEnd { .. } => "netsim.event.fault_window_end",
+            Event::FaultLinkDown { .. } => "netsim.event.fault_link_down",
+            Event::FaultLinkUp { .. } => "netsim.event.fault_link_up",
+            Event::FaultSwitchRestart { .. } => "netsim.event.fault_switch_restart",
+            Event::FaultSwitchReconnect { .. } => "netsim.event.fault_switch_reconnect",
         }
     }
 }

@@ -1,0 +1,183 @@
+//! The fault-injection runtime: turns a declarative [`FaultPlan`] into
+//! scheduled events and hot-path modifiers inside the deterministic engine.
+//!
+//! # How injection preserves the determinism contract
+//!
+//! Every fault is driven by **ordinary scheduled events** in the engine's
+//! `(time, seq)`-ordered queue — window activations, flap edges, restart
+//! edges — installed once by [`Simulator::with_fault_plan`]. The stateful
+//! modifiers (loss draws, spike jitter) consult the simulation's single
+//! seeded RNG *only while a matching fault window is active*, so:
+//!
+//! * an **empty plan** schedules zero events and performs zero RNG draws —
+//!   the event sequence numbers and the RNG stream are untouched, and the
+//!   run is byte-identical to one with no plan at all (pinned by
+//!   `crates/netsim/tests/faults.rs`);
+//! * a **non-empty plan** is still a pure function of `(scenario, plan,
+//!   seed)`: the same plan under the same seed always injects the same
+//!   faults at the same virtual times.
+//!
+//! Every applied fault increments a `netsim.fault.*` telemetry counter, so
+//! scenario outcomes remain attributable to the injected conditions.
+//!
+//! The configuration types ([`FaultPlan`], [`LossModel`], [`FaultWindow`],
+//! …) live in the dependency-free `tm-faults` crate and are re-exported
+//! here.
+//!
+//! [`Simulator::with_fault_plan`]: crate::Simulator::with_fault_plan
+
+use tm_rand::Rng;
+use tm_stats::{Distribution, Normal};
+use tm_telemetry::Telemetry;
+
+use sdn_types::{DatapathId, Duration, PortNo};
+
+pub use tm_faults::{
+    CtrlCongestion, FaultPlan, FaultWindow, LatencySpike, LinkFlap, LinkLoss, LossModel,
+    SwitchRestart,
+};
+
+/// Which windowed-fault table a window start/end event refers to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FaultWindowKind {
+    /// A [`LinkLoss`] entry.
+    Loss,
+    /// A [`LatencySpike`] entry.
+    Spike,
+    /// A [`CtrlCongestion`] entry.
+    Congestion,
+}
+
+/// Runtime state of the installed fault plan. Lives in `NetState` so the
+/// dataplane hot paths can consult it under disjoint field borrows.
+///
+/// The default state (no plan installed) rejects every query without
+/// touching the RNG — the zero-cost-when-disabled half of the contract.
+#[derive(Default)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    /// Active flags per `plan.loss()` entry.
+    loss_active: Vec<bool>,
+    /// Gilbert-Elliott chain state per `plan.loss()` entry (`true` = bad).
+    ge_bad: Vec<bool>,
+    /// Active flags per `plan.spikes()` entry.
+    spike_active: Vec<bool>,
+    /// Active flags per `plan.congestion()` entry.
+    congestion_active: Vec<bool>,
+}
+
+impl FaultState {
+    /// Builds the runtime state for `plan` (all windows initially inactive).
+    pub(crate) fn install(plan: FaultPlan) -> Self {
+        let loss_n = plan.loss().len();
+        let spike_n = plan.spikes().len();
+        let congestion_n = plan.congestion().len();
+        FaultState {
+            plan,
+            loss_active: vec![false; loss_n],
+            ge_bad: vec![false; loss_n],
+            spike_active: vec![false; spike_n],
+            congestion_active: vec![false; congestion_n],
+        }
+    }
+
+    /// Flips the active flag for a windowed fault entry.
+    pub(crate) fn set_window(&mut self, kind: FaultWindowKind, index: usize, active: bool) {
+        let flags = match kind {
+            FaultWindowKind::Loss => &mut self.loss_active,
+            FaultWindowKind::Spike => &mut self.spike_active,
+            FaultWindowKind::Congestion => &mut self.congestion_active,
+        };
+        if let Some(flag) = flags.get_mut(index) {
+            *flag = active;
+        }
+    }
+
+    /// Decides whether a frame leaving egress `(dpid, port)` is lost to an
+    /// active loss fault. Draws from `rng` only for active matching entries.
+    pub(crate) fn should_drop<R: Rng + ?Sized>(
+        &mut self,
+        dpid: DatapathId,
+        port: PortNo,
+        rng: &mut R,
+        telemetry: &Telemetry,
+    ) -> bool {
+        let mut dropped = false;
+        for (i, fault) in self.plan.loss().iter().enumerate() {
+            if !self.loss_active[i] || fault.dpid != dpid || fault.port != port {
+                continue;
+            }
+            let lost = match fault.model {
+                LossModel::Bernoulli { p } => rng.gen_bool(p),
+                LossModel::GilbertElliott {
+                    p_good_to_bad,
+                    p_bad_to_good,
+                    loss_good,
+                    loss_bad,
+                } => {
+                    let loss_p = if self.ge_bad[i] { loss_bad } else { loss_good };
+                    let lost = rng.gen_bool(loss_p);
+                    // Transition after the loss decision, per transit.
+                    let flip_p = if self.ge_bad[i] {
+                        p_bad_to_good
+                    } else {
+                        p_good_to_bad
+                    };
+                    if rng.gen_bool(flip_p) {
+                        self.ge_bad[i] = !self.ge_bad[i];
+                    }
+                    lost
+                }
+            };
+            if lost {
+                dropped = true;
+            }
+        }
+        if dropped {
+            telemetry.counter_inc("netsim.fault.loss_drops");
+        }
+        dropped
+    }
+
+    /// The extra one-way delay active latency-spike faults add on egress
+    /// `(dpid, port)`. Draws from `rng` only for active matching entries
+    /// with nonzero jitter.
+    pub(crate) fn extra_link_delay<R: Rng + ?Sized>(
+        &self,
+        dpid: DatapathId,
+        port: PortNo,
+        rng: &mut R,
+        telemetry: &Telemetry,
+    ) -> Duration {
+        let mut extra = Duration::ZERO;
+        for (i, fault) in self.plan.spikes().iter().enumerate() {
+            if !self.spike_active[i] || fault.dpid != dpid || fault.port != port {
+                continue;
+            }
+            let ms = if fault.jitter_sd == Duration::ZERO {
+                fault.extra.as_millis_f64()
+            } else {
+                Normal::new(fault.extra.as_millis_f64(), fault.jitter_sd.as_millis_f64())
+                    .sample(rng)
+                    .max(0.0)
+            };
+            extra += Duration::from_millis_f64(ms);
+            telemetry.counter_inc("netsim.fault.latency_spikes");
+        }
+        extra
+    }
+
+    /// The extra queuing delay active congestion faults add to a control
+    /// message to or from `dpid`. No randomness involved.
+    pub(crate) fn ctrl_extra_delay(&self, dpid: DatapathId, telemetry: &Telemetry) -> Duration {
+        let mut extra = Duration::ZERO;
+        for (i, fault) in self.plan.congestion().iter().enumerate() {
+            if !self.congestion_active[i] || fault.dpid != dpid {
+                continue;
+            }
+            extra += fault.extra_delay;
+            telemetry.counter_inc("netsim.fault.ctrl_congested_msgs");
+        }
+        extra
+    }
+}

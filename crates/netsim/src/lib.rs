@@ -17,9 +17,15 @@
 //!   channel) with per-hop encode/decode cost.
 //! * A **controller slot**: any [`ControllerLogic`] implementation (see the
 //!   `controller` crate) receives OpenFlow messages and timers.
+//! * A **fault-injection layer** ([`faults`]): a declarative [`FaultPlan`]
+//!   (from the `tm-faults` crate) schedules per-link packet loss, latency
+//!   spikes, link flaps, switch restarts, and control-channel congestion as
+//!   ordinary events in the deterministic queue — see
+//!   [`Simulator::with_fault_plan`].
 //!
 //! Everything runs on a virtual nanosecond clock under a seeded RNG: the
-//! same seed always produces the same trace.
+//! same seed always produces the same trace — including every injected
+//! fault, and an empty fault plan changes nothing at all.
 //!
 //! # Example
 //!
@@ -53,10 +59,12 @@ mod switch;
 mod trace;
 
 pub mod apps;
+pub mod faults;
 pub mod pcap;
 
 pub use controller_api::{ControllerCtx, ControllerLogic, NullController, TimerId};
 pub use engine::PULSE_WINDOW;
+pub use faults::{FaultPlan, FaultWindow, LossModel};
 pub use host::{FrameDisposition, HostApp, HostCtx, HostInfo, NullHostApp};
 pub use link::{BurstModel, LinkProfile};
 pub use sim::{NetworkSpec, Simulator};

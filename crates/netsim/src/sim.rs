@@ -9,6 +9,7 @@ use tm_telemetry::{MetricsSnapshot, Telemetry};
 
 use crate::controller_api::{ControllerCtx, ControllerLogic, NullController};
 use crate::engine::{Event, SimCore};
+use crate::faults::{FaultPlan, FaultState, FaultWindowKind};
 use crate::host::{deliver_frame, HostApp, HostCtx, HostInfo, HostState};
 use crate::link::LinkProfile;
 use crate::switch::{self, Peer, SwitchState};
@@ -30,6 +31,9 @@ pub(crate) struct NetState {
     pub(crate) hosts: BTreeMap<HostId, HostState>,
     pub(crate) oob_channels: Vec<OobChannel>,
     pub(crate) trace: Trace,
+    /// Runtime state of the installed fault plan (empty by default:
+    /// every query is rejected without touching the RNG).
+    pub(crate) faults: FaultState,
 }
 
 /// Declarative description of a network, consumed by [`Simulator::new`].
@@ -51,6 +55,7 @@ impl NetworkSpec {
                 hosts: BTreeMap::new(),
                 oob_channels: Vec::new(),
                 trace: Trace::default(),
+                faults: FaultState::default(),
             },
             controller: Box::new(NullController),
             default_ctrl_latency: Duration::from_millis(1),
@@ -257,6 +262,55 @@ impl Simulator {
             sim.with_host_app(host, |app, ctx| app.on_start(ctx));
         }
         sim
+    }
+
+    /// Builds a simulator like [`Simulator::new`] and installs a fault
+    /// plan: every entry becomes ordinary scheduled events in the
+    /// deterministic queue (see [`crate::faults`]). An empty plan schedules
+    /// nothing and draws nothing — the run is byte-identical to
+    /// `Simulator::new(spec, seed)`.
+    pub fn with_fault_plan(spec: NetworkSpec, seed: u64, plan: FaultPlan) -> Self {
+        let mut sim = Simulator::new(spec, seed);
+        sim.install_fault_plan(plan);
+        sim
+    }
+
+    /// Schedules the plan's window/flap/restart edges and stores the
+    /// runtime fault state.
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        for (index, f) in plan.loss().iter().enumerate() {
+            self.schedule_window(FaultWindowKind::Loss, index, f.window);
+        }
+        for (index, f) in plan.spikes().iter().enumerate() {
+            self.schedule_window(FaultWindowKind::Spike, index, f.window);
+        }
+        for (index, f) in plan.congestion().iter().enumerate() {
+            self.schedule_window(FaultWindowKind::Congestion, index, f.window);
+        }
+        for (index, f) in plan.flaps().iter().enumerate() {
+            self.core
+                .schedule_at(f.down_at, Event::FaultLinkDown { index });
+            self.core.schedule_at(f.up_at, Event::FaultLinkUp { index });
+        }
+        for (index, f) in plan.restarts().iter().enumerate() {
+            self.core
+                .schedule_at(f.at, Event::FaultSwitchRestart { index });
+            self.core
+                .schedule_at(f.at + f.outage, Event::FaultSwitchReconnect { index });
+        }
+        self.net.faults = FaultState::install(plan);
+    }
+
+    fn schedule_window(
+        &mut self,
+        kind: FaultWindowKind,
+        index: usize,
+        window: crate::faults::FaultWindow,
+    ) {
+        self.core
+            .schedule_at(window.from, Event::FaultWindowStart { kind, index });
+        self.core
+            .schedule_at(window.until, Event::FaultWindowEnd { kind, index });
     }
 
     /// Current virtual time.
@@ -567,6 +621,65 @@ impl Simulator {
                     ctx.complete_iface_up(identity);
                 }
                 self.with_host_app(host, |app, ctx| app.on_iface_up(ctx));
+            }
+            Event::FaultWindowStart { kind, index } => {
+                self.core
+                    .telemetry
+                    .counter_inc("netsim.fault.windows_opened");
+                self.net.faults.set_window(kind, index, true);
+            }
+            Event::FaultWindowEnd { kind, index } => {
+                self.net.faults.set_window(kind, index, false);
+            }
+            Event::FaultLinkDown { index } => {
+                let Some(f) = self.net.faults.plan.flaps().get(index).copied() else {
+                    return;
+                };
+                self.core.telemetry.counter_inc("netsim.fault.link_flaps");
+                self.set_switch_port_admin(f.dpid, f.port, false);
+            }
+            Event::FaultLinkUp { index } => {
+                let Some(f) = self.net.faults.plan.flaps().get(index).copied() else {
+                    return;
+                };
+                self.set_switch_port_admin(f.dpid, f.port, true);
+            }
+            Event::FaultSwitchRestart { index } => {
+                let Some(f) = self.net.faults.plan.restarts().get(index).copied() else {
+                    return;
+                };
+                let Some(sw) = self.net.switches.get_mut(&f.dpid) else {
+                    return;
+                };
+                // The restart wipes all installed state; in-flight traffic
+                // starts table-missing into PacketIns immediately.
+                sw.table = openflow::FlowTable::new();
+                self.core
+                    .telemetry
+                    .counter_inc("netsim.fault.switch_restarts");
+            }
+            Event::FaultSwitchReconnect { index } => {
+                let Some(f) = self.net.faults.plan.restarts().get(index).copied() else {
+                    return;
+                };
+                let Some(sw) = self.net.switches.get(&f.dpid) else {
+                    return;
+                };
+                // The control channel comes back: the switch re-runs the
+                // same handshake it performed at simulation start, so the
+                // controller observes a reconnect. Routed through
+                // send_to_controller so congestion faults apply to it too.
+                let ports = sw.port_descs();
+                switch::send_to_controller(&mut self.core, &self.net, f.dpid, OfMessage::Hello);
+                switch::send_to_controller(
+                    &mut self.core,
+                    &self.net,
+                    f.dpid,
+                    OfMessage::FeaturesReply {
+                        dpid: f.dpid,
+                        ports,
+                    },
+                );
             }
         }
     }

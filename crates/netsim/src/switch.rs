@@ -142,6 +142,9 @@ pub(crate) fn send_to_controller(
         Some(sw) => sw.ctrl_latency,
         None => return,
     };
+    // Control-channel congestion faults add queuing delay on the way up
+    // (PacketIn direction).
+    let latency = latency + net.faults.ctrl_extra_delay(dpid, &core.telemetry);
     core.schedule(latency, Event::CtrlToController { dpid, msg });
 }
 
@@ -248,7 +251,24 @@ pub(crate) fn emit_on_port(
         }
         p.tx_packets += 1;
         p.tx_bytes += wire_len;
-        let delay = p.link.sample(&mut core.rng);
+        // Fault injection on the wire: the frame left the port (tx counted)
+        // but an active loss fault may eat it before the peer sees it.
+        // Disjoint field borrows: `p` lives in net.switches, the fault
+        // state in net.faults, the RNG and telemetry in core.
+        if net
+            .faults
+            .should_drop(dpid, port, &mut core.rng, &core.telemetry)
+        {
+            net.trace.push(TraceEvent::Dropped {
+                at: core.now(),
+                reason: "fault-injected loss",
+            });
+            return;
+        }
+        let delay = p.link.sample(&mut core.rng)
+            + net
+                .faults
+                .extra_link_delay(dpid, port, &mut core.rng, &core.telemetry);
         // FIFO enforcement: a later frame on the same wire can never
         // arrive before an earlier one, however the jitter/burst samples
         // came out.

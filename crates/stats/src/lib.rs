@@ -1,6 +1,6 @@
 //! Statistical toolkit for the TopoMirage reproduction.
 //!
-//! Everything here is deterministic under a seeded [`rand::Rng`]:
+//! Everything here is deterministic under a seeded [`tm_rand::Rng`]:
 //!
 //! * [`dist`] — sampling distributions (normal, log-normal, exponential,
 //!   shifted Pareto) implemented from first principles so the workspace's

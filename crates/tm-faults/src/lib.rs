@@ -1,0 +1,428 @@
+//! Fault-plan configuration for the `netsim` fault-injection layer.
+//!
+//! A [`FaultPlan`] is a declarative, seed-independent description of the
+//! degraded network conditions a scenario should run under: per-link packet
+//! loss ([`LossModel::Bernoulli`] or bursty [`LossModel::GilbertElliott`]),
+//! latency spikes, link flaps (the port-down/port-up primitive Port Amnesia
+//! abuses), switch restarts (flow-table wipe + control-channel reconnect),
+//! and control-channel congestion (fixed queuing delay on `PacketIn` /
+//! `PacketOut`).
+//!
+//! The plan itself contains **no randomness and no state** — it is pure
+//! configuration, consumed by `netsim::faults`, which turns every entry into
+//! ordinary scheduled events in the deterministic event queue. Randomized
+//! faults (loss draws, spike jitter) draw from the simulation's single
+//! seeded RNG *only while a fault window is active*, so an empty plan leaves
+//! the RNG stream, the event sequence numbers, and therefore the whole event
+//! trace byte-identical to a run without any plan (pinned by
+//! `crates/netsim/tests/faults.rs`).
+//!
+//! Link-directed faults (loss, spikes) target one **egress direction** of a
+//! switch port, identified by `(DatapathId, PortNo)`; to degrade a
+//! switch-to-switch link in both directions, add one entry per end. Windowed
+//! faults are half-open: active at `from`, inactive again at `until`.
+//!
+//! # Example
+//!
+//! ```
+//! use sdn_types::{DatapathId, Duration, PortNo, SimTime};
+//! use tm_faults::{FaultPlan, FaultWindow, LossModel};
+//!
+//! let mut plan = FaultPlan::new();
+//! let window = FaultWindow::new(SimTime::from_secs(10), SimTime::from_secs(20));
+//! plan.link_loss(DatapathId::new(1), PortNo::new(1), LossModel::bernoulli(0.3), window)
+//!     .latency_spike(
+//!         DatapathId::new(2),
+//!         PortNo::new(1),
+//!         Duration::from_millis(4),
+//!         Duration::from_millis(1),
+//!         window,
+//!     )
+//!     .link_flap(
+//!         DatapathId::new(1),
+//!         PortNo::new(10),
+//!         SimTime::from_secs(12),
+//!         SimTime::from_secs(13),
+//!     );
+//! assert_eq!(plan.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sdn_types::{DatapathId, Duration, PortNo, SimTime};
+
+/// A half-open activity window `[from, until)` for a stateful fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultWindow {
+    /// When the fault becomes active.
+    pub from: SimTime,
+    /// When the fault deactivates again.
+    pub until: SimTime,
+}
+
+impl FaultWindow {
+    /// Creates a window.
+    ///
+    /// # Panics
+    /// Panics unless `from < until`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "fault window must satisfy from < until");
+        FaultWindow { from, until }
+    }
+}
+
+/// How packets are lost on a degraded link.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LossModel {
+    /// Independent per-transit loss with probability `p`.
+    Bernoulli {
+        /// Per-transit drop probability.
+        p: f64,
+    },
+    /// The two-state Gilbert-Elliott burst-loss chain: a *good* and a *bad*
+    /// state with separate loss probabilities; per transit the chain first
+    /// decides loss by the current state, then transitions.
+    GilbertElliott {
+        /// Probability of moving good → bad after a transit.
+        p_good_to_bad: f64,
+        /// Probability of moving bad → good after a transit.
+        p_bad_to_good: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+fn assert_prob(p: f64, what: &str) {
+    assert!((0.0..=1.0).contains(&p), "{what} ({p}) must be in [0, 1]");
+}
+
+impl LossModel {
+    /// Independent loss with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn bernoulli(p: f64) -> Self {
+        assert_prob(p, "loss probability");
+        LossModel::Bernoulli { p }
+    }
+
+    /// A Gilbert-Elliott burst-loss chain.
+    ///
+    /// # Panics
+    /// Panics unless all four probabilities are in `[0, 1]`.
+    pub fn gilbert_elliott(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> Self {
+        assert_prob(p_good_to_bad, "good→bad probability");
+        assert_prob(p_bad_to_good, "bad→good probability");
+        assert_prob(loss_good, "good-state loss probability");
+        assert_prob(loss_bad, "bad-state loss probability");
+        LossModel::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good,
+            loss_bad,
+        }
+    }
+}
+
+/// Packet loss on one egress direction of a switch port.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LinkLoss {
+    /// The switch owning the egress port.
+    pub dpid: DatapathId,
+    /// The egress port.
+    pub port: PortNo,
+    /// The loss process.
+    pub model: LossModel,
+    /// When the loss is active.
+    pub window: FaultWindow,
+}
+
+/// Extra latency on one egress direction of a switch port: a fixed mean
+/// `extra` plus optional Gaussian jitter, on top of the link's own profile.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LatencySpike {
+    /// The switch owning the egress port.
+    pub dpid: DatapathId,
+    /// The egress port.
+    pub port: PortNo,
+    /// Mean extra one-way delay while active.
+    pub extra: Duration,
+    /// Standard deviation of Gaussian jitter on the extra delay
+    /// (zero = deterministic extra delay, consuming no RNG draws).
+    pub jitter_sd: Duration,
+    /// When the spike is active.
+    pub window: FaultWindow,
+}
+
+/// One down/up cycle of a switch port (the Port Amnesia primitive): the
+/// port goes administratively down at `down_at` and comes back at `up_at`,
+/// producing the same `PortStatus` messages a cable pull would.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkFlap {
+    /// The switch owning the port.
+    pub dpid: DatapathId,
+    /// The flapping port.
+    pub port: PortNo,
+    /// When the port goes down.
+    pub down_at: SimTime,
+    /// When the port comes back up.
+    pub up_at: SimTime,
+}
+
+/// A switch restart: the flow table is wiped at `at` (in-flight traffic
+/// starts table-missing into `PacketIn`s immediately) and after `outage`
+/// the switch re-runs its controller handshake (Hello + FeaturesReply),
+/// so the controller observes a reconnect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SwitchRestart {
+    /// The restarting switch.
+    pub dpid: DatapathId,
+    /// When the restart happens (flow-table wipe).
+    pub at: SimTime,
+    /// How long until the control channel re-handshakes.
+    pub outage: Duration,
+}
+
+/// Control-channel congestion for one switch: every control message in
+/// either direction (`PacketIn`/`PacketOut`/echo/stats) is queued for an
+/// extra fixed delay while active — the condition that skews the
+/// controller's echo-RTT latency estimate and with it the LLI's
+/// `T_LLDP − T_SW1 − T_SW2` computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CtrlCongestion {
+    /// The switch whose control channel is congested.
+    pub dpid: DatapathId,
+    /// Extra queuing delay per control message while active.
+    pub extra_delay: Duration,
+    /// When the congestion is active.
+    pub window: FaultWindow,
+}
+
+/// A complete, declarative fault schedule for one simulation run.
+///
+/// Build with the chaining methods ([`FaultPlan::link_loss`] etc.), then
+/// hand to `netsim::Simulator::with_fault_plan`. An empty plan is exactly
+/// equivalent to no plan.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FaultPlan {
+    loss: Vec<LinkLoss>,
+    spikes: Vec<LatencySpike>,
+    flaps: Vec<LinkFlap>,
+    restarts: Vec<SwitchRestart>,
+    congestion: Vec<CtrlCongestion>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a packet-loss fault on the egress direction `(dpid, port)`.
+    pub fn link_loss(
+        &mut self,
+        dpid: DatapathId,
+        port: PortNo,
+        model: LossModel,
+        window: FaultWindow,
+    ) -> &mut Self {
+        self.loss.push(LinkLoss {
+            dpid,
+            port,
+            model,
+            window,
+        });
+        self
+    }
+
+    /// Adds a latency spike on the egress direction `(dpid, port)`.
+    pub fn latency_spike(
+        &mut self,
+        dpid: DatapathId,
+        port: PortNo,
+        extra: Duration,
+        jitter_sd: Duration,
+        window: FaultWindow,
+    ) -> &mut Self {
+        self.spikes.push(LatencySpike {
+            dpid,
+            port,
+            extra,
+            jitter_sd,
+            window,
+        });
+        self
+    }
+
+    /// Adds one port down/up cycle.
+    ///
+    /// # Panics
+    /// Panics unless `down_at < up_at`.
+    pub fn link_flap(
+        &mut self,
+        dpid: DatapathId,
+        port: PortNo,
+        down_at: SimTime,
+        up_at: SimTime,
+    ) -> &mut Self {
+        assert!(down_at < up_at, "flap must satisfy down_at < up_at");
+        self.flaps.push(LinkFlap {
+            dpid,
+            port,
+            down_at,
+            up_at,
+        });
+        self
+    }
+
+    /// Adds a switch restart.
+    pub fn switch_restart(&mut self, dpid: DatapathId, at: SimTime, outage: Duration) -> &mut Self {
+        self.restarts.push(SwitchRestart { dpid, at, outage });
+        self
+    }
+
+    /// Adds control-channel congestion for `dpid`.
+    pub fn ctrl_congestion(
+        &mut self,
+        dpid: DatapathId,
+        extra_delay: Duration,
+        window: FaultWindow,
+    ) -> &mut Self {
+        self.congestion.push(CtrlCongestion {
+            dpid,
+            extra_delay,
+            window,
+        });
+        self
+    }
+
+    /// The packet-loss faults.
+    pub fn loss(&self) -> &[LinkLoss] {
+        &self.loss
+    }
+
+    /// The latency-spike faults.
+    pub fn spikes(&self) -> &[LatencySpike] {
+        &self.spikes
+    }
+
+    /// The link flaps.
+    pub fn flaps(&self) -> &[LinkFlap] {
+        &self.flaps
+    }
+
+    /// The switch restarts.
+    pub fn restarts(&self) -> &[SwitchRestart] {
+        &self.restarts
+    }
+
+    /// The control-channel congestion faults.
+    pub fn congestion(&self) -> &[CtrlCongestion] {
+        &self.congestion
+    }
+
+    /// Total number of fault entries.
+    pub fn len(&self) -> usize {
+        self.loss.len()
+            + self.spikes.len()
+            + self.flaps.len()
+            + self.restarts.len()
+            + self.congestion.len()
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(from_s: u64, until_s: u64) -> FaultWindow {
+        FaultWindow::new(SimTime::from_secs(from_s), SimTime::from_secs(until_s))
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+
+    #[test]
+    fn builder_accumulates_every_fault_kind() {
+        let mut plan = FaultPlan::new();
+        plan.link_loss(
+            DatapathId::new(1),
+            PortNo::new(1),
+            LossModel::bernoulli(0.5),
+            win(1, 2),
+        )
+        .latency_spike(
+            DatapathId::new(1),
+            PortNo::new(2),
+            Duration::from_millis(3),
+            Duration::ZERO,
+            win(1, 2),
+        )
+        .link_flap(
+            DatapathId::new(2),
+            PortNo::new(10),
+            SimTime::from_secs(3),
+            SimTime::from_secs(4),
+        )
+        .switch_restart(
+            DatapathId::new(3),
+            SimTime::from_secs(5),
+            Duration::from_millis(200),
+        )
+        .ctrl_congestion(DatapathId::new(4), Duration::from_millis(10), win(6, 7));
+        assert_eq!(plan.len(), 5);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.loss().len(), 1);
+        assert_eq!(plan.spikes().len(), 1);
+        assert_eq!(plan.flaps().len(), 1);
+        assert_eq!(plan.restarts().len(), 1);
+        assert_eq!(plan.congestion().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "from < until")]
+    fn window_order_is_validated() {
+        let _ = FaultWindow::new(SimTime::from_secs(2), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "down_at < up_at")]
+    fn flap_order_is_validated() {
+        let mut plan = FaultPlan::new();
+        plan.link_flap(
+            DatapathId::new(1),
+            PortNo::new(1),
+            SimTime::from_secs(2),
+            SimTime::from_secs(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn bernoulli_probability_is_validated() {
+        let _ = LossModel::bernoulli(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad→good")]
+    fn gilbert_elliott_probabilities_are_validated() {
+        let _ = LossModel::gilbert_elliott(0.1, 7.0, 0.0, 1.0);
+    }
+}

@@ -51,7 +51,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

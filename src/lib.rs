@@ -22,6 +22,7 @@
 //! | [`attacks`] | `attacks` | Port Amnesia, Port Probing, and friends |
 //! | [`scenarios`] | `tm-core` | testbeds, defense stacks, detection matrix |
 //! | [`telemetry`] | `tm-telemetry` | deterministic counters, gauges, histograms |
+//! | [`faults`] | `tm-faults` | declarative fault plans (loss, jitter, flaps, restarts) |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use openflow;
 pub use sdn_types as types;
 pub use sphinx;
 pub use tm_core as scenarios;
+pub use tm_faults as faults;
 pub use tm_ids as ids;
 pub use tm_stats as stats;
 pub use tm_telemetry as telemetry;
