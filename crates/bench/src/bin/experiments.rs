@@ -51,7 +51,8 @@ fn usage() -> ! {
          ids: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13\n\
               matrix matrix_extended fault_matrix scan_detection alert_flood downtime\n\
               ablations ablation_lli ablation_amnesia ablation_timeout metrics all\n\
-              campaign <scenario|smoke|faults|list> [--seeds N] [--workers N] [--confidence P]"
+              campaign <scenario|smoke|faults|list> [--seeds N] [--workers N] [--confidence P]\n\
+              scale [--seeds N] [--workers N]  (alias for `campaign scale`)"
     );
     std::process::exit(2);
 }
@@ -152,6 +153,13 @@ fn main() {
     let Some(id) = args.first() else { usage() };
     if id == "campaign" {
         campaign_cmd(&args[1..]);
+        return;
+    }
+    if id == "scale" {
+        // Alias for `campaign scale`: the datacenter-fabric soak grid.
+        let mut forwarded = vec!["scale".to_string()];
+        forwarded.extend_from_slice(&args[1..]);
+        campaign_cmd(&forwarded);
         return;
     }
 

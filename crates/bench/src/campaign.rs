@@ -15,9 +15,11 @@ use tm_core::floodsc::{self, FloodScenario};
 use tm_core::hijack::{self, HijackScenario};
 use tm_core::linkfab::{self, LinkFabScenario, RelayMode};
 use tm_core::robustness::{self, FaultProfile, RobustnessScenario};
+use tm_core::scale::{self, ScaleScenario};
 use tm_core::DefenseStack;
 use tm_rand::StdRng;
 use tm_stats::{quantile, Summary};
+use tm_topo::TopoKind;
 
 use crate::json::JsonValue;
 
@@ -314,6 +316,35 @@ pub fn registry() -> Registry {
         },
     ));
 
+    add(Scenario::new(
+        "scale",
+        "Engine scale soak: generated fabrics under pure control-plane load, 1 simulated second",
+        vec![
+            Axis::new(
+                "topology",
+                &["linear-4", "fat-tree-4", "fat-tree-8", "core-edge-4x96x1"],
+            ),
+            Axis::new("stack", &["none", "topoguard-plus"]),
+        ],
+        |point, seed| {
+            let topo = point
+                .get("topology")
+                .and_then(TopoKind::from_label)
+                .unwrap_or(TopoKind::Linear {
+                    switches: 4,
+                    hosts_per_switch: 1,
+                });
+            let stack = parse_stack(point.get("stack").unwrap_or("none"));
+            let outcome = scale::run(&ScaleScenario::new(topo, stack, seed));
+            Metrics::new()
+                .with("events_per_sim_sec", outcome.events_per_sim_sec)
+                .with("events_processed", outcome.events_processed as f64)
+                .with("links_discovered", outcome.links_discovered as f64)
+                .with("alerts_total", outcome.alerts_total as f64)
+                .with("switches", outcome.switches as f64)
+        },
+    ));
+
     r
 }
 
@@ -426,6 +457,7 @@ mod tests {
             "lli-under-jitter",
             "cmm-under-flaps",
             "discovery-under-loss",
+            "scale",
         ] {
             assert!(r.get(name).is_some(), "missing scenario {name}");
         }

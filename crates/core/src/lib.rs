@@ -29,6 +29,7 @@ pub mod induced;
 pub mod linkfab;
 pub mod matrix;
 pub mod robustness;
+pub mod scale;
 pub mod testbed;
 
 pub use defense::DefenseStack;
@@ -37,3 +38,4 @@ pub use hijack::{HijackOutcome, HijackScenario};
 pub use linkfab::{LinkFabOutcome, LinkFabScenario, RelayMode};
 pub use matrix::{run_matrix, run_matrix_under, MatrixEntry};
 pub use robustness::{FaultProfile, ProfileTargets, RobustnessOutcome, RobustnessScenario};
+pub use scale::{ScaleOutcome, ScaleScenario};

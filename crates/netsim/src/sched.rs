@@ -1,0 +1,816 @@
+//! Pluggable event-queue backends for the discrete-event core.
+//!
+//! Two interchangeable implementations live here, selected per simulation
+//! by [`SchedBackend`]:
+//!
+//! * [`TimingWheel`] — the default: a two-phase adaptive queue. While
+//!   the pending set is small enough to stay cache-resident it serves
+//!   events from a plain `BinaryHeap` (the *direct* phase) — at that
+//!   scale no multi-level structure beats a heap whose working set fits
+//!   in L2. When the pending set crosses [`MIGRATE_THRESHOLD`] the queue
+//!   migrates into a five-level hierarchical timing wheel, and
+//!   de-migrates (with 4× hysteresis, [`DEMIGRATE_THRESHOLD`]) once the
+//!   set shrinks back. Measured on the generated control-plane
+//!   workloads (`engine_throughput` bench), fabrics up to 1000 switches
+//!   run entirely in the direct phase, so the wheel costs nothing where
+//!   it cannot win; the hierarchical phase exists for pending sets the
+//!   cache cannot hold — many-thousand-switch fabrics or long-horizon
+//!   fault plans parking tens of thousands of timers.
+//! * [`HeapQueue`] — the original `BinaryHeap` scheduler, kept alive so
+//!   the differential test suite (`tests/sched_diff.rs` and the
+//!   `tm_prop!` workload generator below) can prove both backends
+//!   produce byte-identical traces. The `heap-sched` cargo feature flips
+//!   the compile-time default back to the heap.
+//!
+//! Both backends implement the same contract: pop order is strictly
+//! ascending `(time, seq)`, which the `debug_assertions` invariant
+//! checker in [`crate::engine`] re-verifies at runtime. The hierarchical
+//! phase is forced on in tests via `force_hierarchical`, so equivalence
+//! is proven for both phases and for the migration boundary itself, not
+//! just for whichever phase the workload happens to exercise.
+//!
+//! # Wheel geometry (hierarchical phase)
+//!
+//! Ticks are `2^20` ns (≈ 1 ms): one tick spans a dataplane hop
+//! (50 µs–1 ms here), so a discovery round's fan-out lands in the
+//! current or next level-0 slot. Five levels of 64 slots cover `2^50`
+//! ns ≈ 13 days of relative delay; anything further goes to a sorted
+//! overflow map and is merged back when the cursor reaches it.
+//!
+//! An event's level is derived from the bits where its tick differs
+//! from the cursor (the Linux/tokio "hashed hierarchical wheel" rule):
+//! `level = msb(tick ^ cursor) / 6`. The cursor never passes an
+//! occupied slot — it jumps straight to the earliest one, cascading
+//! that slot's entries down a level at a time until the earliest tick
+//! sits in level 0. That slot is heapified (`O(n)`) into the current
+//! batch; late arrivals inside the open batch window push in
+//! `O(log batch)`, and the spent batch's storage is recycled, so the
+//! steady state allocates nothing. A slot whose lone entry is the
+//! global minimum short-circuits the cascade: the cursor jumps straight
+//! to its tick.
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+
+use sdn_types::SimTime;
+
+use crate::engine::Event;
+
+/// Which event-queue implementation a simulation uses.
+///
+/// The choice can never affect simulation output — the differential
+/// scheduler suite asserts byte-identical traces for every scenario —
+/// only wall-clock speed. See [`NetworkSpec::set_sched_backend`]
+/// (per-spec) and [`set_global_sched_backend`] (process default).
+///
+/// [`NetworkSpec::set_sched_backend`]: crate::NetworkSpec::set_sched_backend
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedBackend {
+    /// Hierarchical timing wheel (the default).
+    Wheel,
+    /// The original binary-heap scheduler.
+    Heap,
+}
+
+/// Process-wide backend override: 0 = unset, 1 = wheel, 2 = heap.
+///
+/// A single atomic byte, not a lock: simulations stay single-threaded
+/// (the determinism contract), this only routes which queue a
+/// `Simulator` constructed deep inside scenario code picks up. The
+/// differential suite sets it around campaign sweeps whose adapters
+/// don't expose a `NetworkSpec`.
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the process-default scheduler backend (`None` restores the
+/// compile-time default). Intended for differential tests that must run
+/// identical scenarios under both backends; has no effect on simulations
+/// whose spec sets a backend explicitly.
+pub fn set_global_sched_backend(backend: Option<SchedBackend>) {
+    let raw = match backend {
+        None => 0,
+        Some(SchedBackend::Wheel) => 1,
+        Some(SchedBackend::Heap) => 2,
+    };
+    GLOBAL_BACKEND.store(raw, AtomicOrdering::Relaxed);
+}
+
+/// The backend a spec without an explicit choice resolves to: the global
+/// override if set, else the compile-time default (`heap-sched` feature
+/// selects the heap; otherwise the wheel).
+pub fn default_sched_backend() -> SchedBackend {
+    match GLOBAL_BACKEND.load(AtomicOrdering::Relaxed) {
+        1 => SchedBackend::Wheel,
+        2 => SchedBackend::Heap,
+        _ => {
+            if cfg!(feature = "heap-sched") {
+                SchedBackend::Heap
+            } else {
+                SchedBackend::Wheel
+            }
+        }
+    }
+}
+
+/// A queued event with its firing time and tie-break sequence number.
+#[derive(Debug)]
+pub(crate) struct Scheduled {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    // tm-lint: allow(float-ordering) -- PartialOrd impl over integer (SimTime, seq) keys; no floats involved
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The dispatch enum both backends sit behind. Runtime (not feature)
+/// selection is deliberate: the differential suite runs both backends in
+/// one binary and diffs their traces.
+pub(crate) enum EventQueue {
+    /// Hierarchical timing wheel.
+    Wheel(TimingWheel),
+    /// Binary-heap scheduler.
+    Heap(HeapQueue),
+}
+
+impl EventQueue {
+    pub(crate) fn new(backend: SchedBackend) -> EventQueue {
+        match backend {
+            SchedBackend::Wheel => EventQueue::Wheel(TimingWheel::new()),
+            SchedBackend::Heap => EventQueue::Heap(HeapQueue::default()),
+        }
+    }
+
+    pub(crate) fn push(&mut self, s: Scheduled) {
+        match self {
+            EventQueue::Wheel(w) => w.push(s),
+            EventQueue::Heap(h) => h.push(s),
+        }
+    }
+
+    /// Removes and returns the earliest `(time, seq)` entry if it fires
+    /// at or before `horizon`.
+    pub(crate) fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<Scheduled> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_at_or_before(horizon),
+            EventQueue::Heap(h) => h.pop_at_or_before(horizon),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.direct.as_ref().map_or(w.len, BinaryHeap::len),
+            EventQueue::Heap(h) => h.heap.len(),
+        }
+    }
+}
+
+/// The original `BinaryHeap` scheduler.
+#[derive(Default)]
+pub(crate) struct HeapQueue {
+    heap: BinaryHeap<Scheduled>,
+}
+
+impl HeapQueue {
+    fn push(&mut self, s: Scheduled) {
+        self.heap.push(s);
+    }
+
+    fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<Scheduled> {
+        match self.heap.peek() {
+            Some(s) if s.at <= horizon => self.heap.pop(),
+            _ => None,
+        }
+    }
+}
+
+/// Tick granularity: `2^GRAN_BITS` ns per tick (≈ 1 ms). Chosen so a
+/// dataplane hop (50 µs – 1 ms in every testbed profile) lands in the
+/// current or next level-0 slot while parked periodic timers (LLDP,
+/// echo probes, flow expiry) spread across higher levels.
+const GRAN_BITS: u32 = 20;
+/// Slots per level: `2^SLOT_BITS`.
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Wheel levels; spans `2^(GRAN_BITS + SLOT_BITS * LEVELS)` ns ≈ 13 days.
+const LEVELS: usize = 5;
+/// Pending-set size beyond which the hierarchical phase engages.
+///
+/// Below it the queue serves straight from a binary heap: a
+/// cache-resident heap (8192 × 128 B ≈ 1 MiB) beats any multi-level
+/// structure — measured on the generated control-plane workloads, even
+/// the 1000-switch fabric (steady pending ≈ 1k, boot-burst highwater
+/// ≈ 5k) stays under it and ties the heap backend exactly. Past the
+/// threshold the pending set is dominated by parked periodic timers
+/// across thousands of switches; migrating them into wheel slots takes
+/// them off every subsequent heap op's compare path.
+const MIGRATE_THRESHOLD: usize = 8192;
+/// Hysteresis low-water mark: once the pending set shrinks back to a
+/// quarter of the migrate threshold, service returns to the direct
+/// heap. A datacenter boot burst (every switch handshaking at once)
+/// inflates the pending set far past what the steady state holds; the
+/// 4× gap between the marks bounds migration churn while keeping each
+/// regime on the structure that wins there.
+const DEMIGRATE_THRESHOLD: usize = MIGRATE_THRESHOLD / 4;
+
+/// Hierarchical timing wheel (see the module docs for the geometry).
+pub(crate) struct TimingWheel {
+    /// Direct-service phase: `Some` while the pending set is small
+    /// enough that a plain heap wins ([`MIGRATE_THRESHOLD`] /
+    /// [`DEMIGRATE_THRESHOLD`] hysteresis). While direct, none of the
+    /// other fields are touched (and the slot vectors aren't even
+    /// allocated until the first migration).
+    direct: Option<BinaryHeap<Scheduled>>,
+    /// Test hook: suppresses de-migration so unit tests can exercise
+    /// the hierarchical paths with tiny pending sets.
+    #[cfg(test)]
+    pinned_hierarchical: bool,
+    /// Absolute tick of the current batch window. Only advances when a
+    /// batch is (re)built, and only to the tick of a pending event — so
+    /// it never overtakes the clock of events still to be scheduled.
+    cursor: u64,
+    /// `LEVELS × SLOTS` buckets, flattened; entries within a bucket are
+    /// in insertion order.
+    slots: Vec<Vec<Scheduled>>,
+    /// One occupancy bit per slot per level: finding the earliest
+    /// non-empty slot is a `trailing_zeros`, not a scan.
+    occupied: [u64; LEVELS],
+    /// Events beyond the wheel span, keyed by exact firing time. Served
+    /// directly from here — no re-insertion cascade needed.
+    overflow: BTreeMap<SimTime, Vec<Scheduled>>,
+    /// The drained contents of the current window, heap-ordered by
+    /// `(time, seq)` (`Scheduled`'s `Ord` pops the earliest first).
+    /// Late arrivals that land inside the window push in `O(log b)`;
+    /// a drained slot heapifies in `O(b)` — no sort, no shifting.
+    batch: BinaryHeap<Scheduled>,
+    /// Exclusive end of the current batch window (only meaningful while
+    /// `batch` is non-empty).
+    batch_end: SimTime,
+    /// Reusable staging buffer for `refill`: drained slot contents are
+    /// collected, sorted, and moved into `batch` without allocating per
+    /// window. Always empty between calls.
+    scratch: Vec<Scheduled>,
+    len: usize,
+}
+
+impl TimingWheel {
+    fn new() -> TimingWheel {
+        TimingWheel {
+            direct: Some(BinaryHeap::with_capacity(64)),
+            #[cfg(test)]
+            pinned_hierarchical: false,
+            cursor: 0,
+            slots: Vec::new(), // allocated on migration
+            occupied: [0; LEVELS],
+            overflow: BTreeMap::new(),
+            batch: BinaryHeap::new(),
+            batch_end: SimTime::ZERO,
+            scratch: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Switch from direct to hierarchical service: allocates the slot
+    /// store (first time only), seeds the cursor at the earliest
+    /// pending tick, and distributes every entry. `O(n)`.
+    fn migrate(&mut self) {
+        let Some(direct) = self.direct.take() else {
+            return;
+        };
+        let entries = direct.into_vec();
+        self.len = entries.len();
+        if self.slots.is_empty() {
+            // Pre-size every bucket: scheduling must never malloc on
+            // the hot path. ~80 KiB per simulation reaching this scale.
+            self.slots = (0..LEVELS * SLOTS).map(|_| Vec::with_capacity(2)).collect();
+            self.batch = BinaryHeap::with_capacity(64);
+            self.scratch = Vec::with_capacity(64);
+        }
+        self.cursor = entries
+            .iter()
+            .map(|s| s.at.as_nanos() >> GRAN_BITS)
+            .min()
+            .unwrap_or(0);
+        for s in entries {
+            self.wheel_insert(s);
+        }
+    }
+
+    /// The reverse switch: collects the wheel's contents back into a
+    /// direct-service heap. `O(n)` with `n` small by definition (only
+    /// taken below [`DEMIGRATE_THRESHOLD`]); the slot store keeps its
+    /// allocation for the next migration.
+    fn demigrate(&mut self) {
+        debug_assert!(self.direct.is_none());
+        let mut entries = Vec::with_capacity(self.len);
+        entries.extend(self.batch.drain());
+        for slot in &mut self.slots {
+            entries.append(slot);
+        }
+        self.occupied = [0; LEVELS];
+        for (_, bucket) in std::mem::take(&mut self.overflow) {
+            entries.extend(bucket);
+        }
+        self.batch_end = SimTime::ZERO;
+        self.len = 0;
+        self.direct = Some(BinaryHeap::from(entries));
+    }
+
+    /// Whether the pending set has shrunk enough to return to direct
+    /// service. Only meaningful in the hierarchical phase (callers
+    /// check `direct` first).
+    fn should_demigrate(&self) -> bool {
+        #[cfg(test)]
+        if self.pinned_hierarchical {
+            return false;
+        }
+        debug_assert!(self.direct.is_none());
+        self.len < DEMIGRATE_THRESHOLD
+    }
+
+    /// Kept small enough to inline into the `EventQueue` dispatch: the
+    /// direct phase must cost exactly what the heap backend costs (plus
+    /// one threshold compare), so the hierarchical path is outlined.
+    #[inline]
+    fn push(&mut self, s: Scheduled) {
+        if let Some(direct) = &mut self.direct {
+            direct.push(s);
+            if direct.len() > MIGRATE_THRESHOLD {
+                self.migrate();
+            }
+            return;
+        }
+        self.push_hierarchical(s);
+    }
+
+    /// Hierarchical-phase push. `self.len` is only maintained in this
+    /// phase (the direct heap knows its own length).
+    #[inline(never)]
+    fn push_hierarchical(&mut self, s: Scheduled) {
+        self.len += 1;
+        // An event landing inside the open batch window (e.g. scheduled
+        // with zero delay while the window dispatches) must interleave
+        // with the batch by (time, seq), not wait behind it.
+        if !self.batch.is_empty() && s.at < self.batch_end {
+            self.batch.push(s);
+            return;
+        }
+        self.wheel_insert(s);
+    }
+
+    fn wheel_insert(&mut self, s: Scheduled) {
+        let tick = s.at.as_nanos() >> GRAN_BITS;
+        debug_assert!(
+            tick >= self.cursor,
+            "wheel insert behind the cursor: tick {tick} < cursor {}",
+            self.cursor
+        );
+        let diff = tick ^ self.cursor;
+        if diff >> (SLOT_BITS * LEVELS as u32) != 0 {
+            self.overflow.entry(s.at).or_default().push(s);
+            return;
+        }
+        let level = if diff == 0 {
+            0
+        } else {
+            (63 - diff.leading_zeros()) as usize / SLOT_BITS as usize
+        };
+        let slot = ((tick >> (SLOT_BITS as usize * level)) & SLOT_MASK) as usize;
+        self.slots[level * SLOTS + slot].push(s);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// See [`TimingWheel::push`] on the inlining split.
+    #[inline]
+    fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<Scheduled> {
+        if let Some(direct) = &mut self.direct {
+            return match direct.peek() {
+                Some(s) if s.at <= horizon => direct.pop(),
+                _ => None,
+            };
+        }
+        self.pop_hierarchical(horizon)
+    }
+
+    /// Hierarchical-phase pop (and the de-migration check — the pending
+    /// set can only shrink on pops).
+    #[inline(never)]
+    fn pop_hierarchical(&mut self, horizon: SimTime) -> Option<Scheduled> {
+        if self.should_demigrate() {
+            self.demigrate();
+            return self.pop_at_or_before(horizon);
+        }
+        if self.batch.is_empty() && !self.refill() {
+            return None;
+        }
+        if self.batch.peek()?.at > horizon {
+            return None;
+        }
+        self.len -= 1;
+        self.batch.pop()
+    }
+
+    /// Test hook: force (and pin) the hierarchical phase regardless of
+    /// size, so unit tests exercise the wheel paths below the threshold.
+    #[cfg(test)]
+    fn force_hierarchical(&mut self) {
+        self.migrate();
+        self.pinned_hierarchical = true;
+    }
+
+    /// The earliest occupied `(level, slot index, slot start tick)`.
+    ///
+    /// Levels are strictly time-ordered (level `l` entries all precede
+    /// level `l+1` entries — they differ from the cursor in lower bits),
+    /// and within a level every occupied index is ≥ the cursor's index,
+    /// so the lowest set bit of the first occupied level is the earliest
+    /// slot in the whole wheel.
+    fn first_occupied(&self) -> Option<(usize, usize, u64)> {
+        for level in 0..LEVELS {
+            let bits = self.occupied[level];
+            if bits != 0 {
+                let idx = bits.trailing_zeros() as u64;
+                let level_shift = SLOT_BITS as usize * level;
+                let block_shift = level_shift + SLOT_BITS as usize;
+                let base = (self.cursor >> block_shift) << block_shift;
+                let start = base | (idx << level_shift);
+                return Some((level, idx as usize, start));
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the batch from the earliest pending window. Returns
+    /// `false` when the wheel and overflow are both empty.
+    ///
+    /// Allocation-free in steady state: slot contents move through the
+    /// reusable `scratch` buffer (`Vec::append` keeps the slot's
+    /// capacity), which is then swapped wholesale into `batch`.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.batch.is_empty());
+        debug_assert!(self.scratch.is_empty());
+        loop {
+            let overflow_tick = self
+                .overflow
+                .keys()
+                .next()
+                .map(|at| at.as_nanos() >> GRAN_BITS);
+            match self.first_occupied() {
+                // The wheel's earliest slot starts at or before the
+                // overflow front: it anchors the window.
+                Some((level, idx, start)) if overflow_tick.is_none_or(|t| start <= t) => {
+                    let bit = 1u64 << idx;
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    scratch.append(&mut self.slots[level * SLOTS + idx]);
+                    self.occupied[level] &= !bit;
+                    // A lone entry in a high-level slot is the global
+                    // wheel minimum (levels are strictly time-ordered
+                    // and this was the earliest slot), so the cursor
+                    // can jump straight to its tick — no cascade.
+                    // Sparse queues (a few periodic timers) hit this on
+                    // nearly every pop; it turns O(levels) re-inserts
+                    // into O(1). Overflow entries now inside the window
+                    // are merged by `build_batch` regardless.
+                    if level == 0 || scratch.len() == 1 {
+                        self.cursor = if level == 0 {
+                            start
+                        } else {
+                            scratch[0].at.as_nanos() >> GRAN_BITS
+                        };
+                        self.scratch = scratch;
+                        self.build_batch(overflow_tick);
+                        return true;
+                    }
+                    // Higher-level slot: re-anchor at its start and let
+                    // its entries cascade to lower levels, then rescan.
+                    self.cursor = start;
+                    for s in scratch.drain(..) {
+                        self.wheel_insert(s);
+                    }
+                    self.scratch = scratch;
+                }
+                // Overflow front precedes everything in the wheel (or
+                // the wheel is empty): serve its tick directly.
+                _ => {
+                    let Some(tick) = overflow_tick else {
+                        return false;
+                    };
+                    self.cursor = tick;
+                    self.build_batch(overflow_tick);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Heapifies `scratch` (the drained slot) plus any overflow entries
+    /// inside the window into the (empty) batch, leaving the batch's
+    /// old storage behind as the next scratch.
+    ///
+    /// `overflow_tick` is the caller's already-computed overflow front
+    /// tick (an overflow entry is inside the window iff its tick is ≤
+    /// the cursor), saving a second map descent on the hot path.
+    fn build_batch(&mut self, overflow_tick: Option<u64>) {
+        debug_assert!(self.batch.is_empty());
+        let window_end = SimTime::from_nanos((self.cursor + 1) << GRAN_BITS);
+        if overflow_tick.is_some_and(|t| t <= self.cursor) {
+            while let Some((&at, _)) = self.overflow.first_key_value() {
+                if at >= window_end {
+                    break;
+                }
+                // tm-lint: allow(unwrap-in-lib) -- first_key_value above proves the map is non-empty
+                let (_, bucket) = self.overflow.pop_first().expect("non-empty overflow");
+                self.scratch.extend(bucket);
+            }
+        }
+        // Heapify is O(n); the batch's spent storage becomes the next
+        // scratch, so the exchange allocates nothing in steady state.
+        let staged = std::mem::take(&mut self.scratch);
+        let spent = std::mem::replace(&mut self.batch, BinaryHeap::from(staged));
+        self.scratch = spent.into_vec();
+        self.batch_end = window_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_prop::prelude::*;
+
+    fn entry(at_ns: u64, seq: u64) -> Scheduled {
+        Scheduled {
+            at: SimTime::from_nanos(at_ns),
+            seq,
+            event: Event::ControllerTimer { id: seq },
+        }
+    }
+
+    fn drain(q: &mut EventQueue, horizon: SimTime) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(s) = q.pop_at_or_before(horizon) {
+            out.push((s.at.as_nanos(), s.seq));
+        }
+        out
+    }
+
+    /// A wheel queue pushed past the direct phase, so tests hit the
+    /// hierarchical paths without 2048 filler entries.
+    fn hierarchical_wheel() -> EventQueue {
+        let mut q = EventQueue::new(SchedBackend::Wheel);
+        if let EventQueue::Wheel(w) = &mut q {
+            w.force_hierarchical();
+        }
+        q
+    }
+
+    #[test]
+    fn wheel_pops_in_time_then_seq_order() {
+        let mut q = hierarchical_wheel();
+        // Same tick, distinct ns; far future; same timestamp cluster.
+        q.push(entry(2_000_000, 0));
+        q.push(entry(1_500, 1));
+        q.push(entry(1_200, 2));
+        q.push(entry(60_000_000_000, 3)); // 60 s: level 4
+        q.push(entry(2_000_000, 4));
+        q.push(entry(7_000_000_000_000, 5)); // ~2 h: overflow
+        let popped = drain(&mut q, SimTime::from_secs(10_000));
+        assert_eq!(
+            popped,
+            vec![
+                (1_200, 2),
+                (1_500, 1),
+                (2_000_000, 0),
+                (2_000_000, 4),
+                (60_000_000_000, 3),
+                (7_000_000_000_000, 5),
+            ]
+        );
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn late_arrival_inside_open_window_interleaves() {
+        let mut q = hierarchical_wheel();
+        q.push(entry(1_500, 0));
+        // Pop nothing yet (horizon before the event) — but the probe
+        // builds the batch window.
+        assert!(q.pop_at_or_before(SimTime::from_nanos(100)).is_none());
+        // A later schedule landing earlier in the same window must pop first.
+        q.push(entry(1_200, 1));
+        let popped = drain(&mut q, SimTime::from_secs(1));
+        assert_eq!(popped, vec![(1_200, 1), (1_500, 0)]);
+    }
+
+    #[test]
+    fn refill_overshoot_then_earlier_schedule_is_not_lost() {
+        let mut q = hierarchical_wheel();
+        // Probe with a far-future event loaded: the refill jumps the
+        // cursor to its window...
+        q.push(entry(10_000_000_000, 0)); // 10 s
+        assert!(q.pop_at_or_before(SimTime::from_secs(1)).is_none());
+        // ...then a near event arrives (clock advanced to 1 s). It lands
+        // before the open window and must still pop first.
+        q.push(entry(1_000_100_000, 1));
+        let popped = drain(&mut q, SimTime::from_secs(20));
+        assert_eq!(popped, vec![(1_000_100_000, 1), (10_000_000_000, 0)]);
+    }
+
+    #[test]
+    fn default_backend_tracks_global_override() {
+        let compiled_default = if cfg!(feature = "heap-sched") {
+            SchedBackend::Heap
+        } else {
+            SchedBackend::Wheel
+        };
+        assert_eq!(default_sched_backend(), compiled_default);
+        set_global_sched_backend(Some(SchedBackend::Heap));
+        assert_eq!(default_sched_backend(), SchedBackend::Heap);
+        set_global_sched_backend(Some(SchedBackend::Wheel));
+        assert_eq!(default_sched_backend(), SchedBackend::Wheel);
+        set_global_sched_backend(None);
+        assert_eq!(default_sched_backend(), compiled_default);
+    }
+
+    /// One op of a randomized schedule workload. `Drain` plays the role
+    /// of a horizon-bounded `run_until`; "cancellation" in this engine is
+    /// epoch-superseded events, which the scenario-level differential
+    /// suite (`tests/sched_diff.rs`) exercises — at the queue layer every
+    /// scheduled event is eventually popped.
+    #[derive(Clone, Debug)]
+    enum Op {
+        /// Schedule one event `delay_ns` ahead of the current clock.
+        Schedule(u64),
+        /// A same-timestamp cluster of `n` events (an LLDP-round fan-out).
+        Burst(u64, u8),
+        /// A far-future timer (seconds to hours: exercises high levels
+        /// and the overflow map).
+        Far(u64),
+        /// Pop everything up to `clock + delta_ns`, advancing the clock.
+        Drain(u64),
+    }
+
+    /// Applies the same op stream to both backends and asserts identical
+    /// pop sequences, once against a direct-phase wheel and once with
+    /// the hierarchical phase forced. Models the SimCore protocol: dense
+    /// seqs, clock = last popped time (or drain horizon).
+    fn diff_backends(ops: &[Op]) {
+        diff_backends_phase(ops, false);
+        diff_backends_phase(ops, true);
+    }
+
+    fn diff_backends_phase(ops: &[Op], force_hierarchical: bool) {
+        let wheel = if force_hierarchical {
+            hierarchical_wheel()
+        } else {
+            EventQueue::new(SchedBackend::Wheel)
+        };
+        let mut queues = [wheel, EventQueue::new(SchedBackend::Heap)];
+        let mut clock = 0u64;
+        let mut seq = 0u64;
+        let push_both = |queues: &mut [EventQueue; 2], seq: &mut u64, at: u64| {
+            for q in queues.iter_mut() {
+                q.push(entry(at, *seq));
+            }
+            *seq += 1;
+        };
+        for op in ops {
+            match *op {
+                Op::Schedule(delay) => push_both(&mut queues, &mut seq, clock + delay),
+                Op::Burst(delay, n) => {
+                    for _ in 0..n {
+                        push_both(&mut queues, &mut seq, clock + delay);
+                    }
+                }
+                Op::Far(delay) => push_both(&mut queues, &mut seq, clock + delay),
+                Op::Drain(delta) => {
+                    let horizon = SimTime::from_nanos(clock + delta);
+                    loop {
+                        let [wheel, heap] = &mut queues;
+                        let a = wheel.pop_at_or_before(horizon);
+                        let b = heap.pop_at_or_before(horizon);
+                        match (a, b) {
+                            (None, None) => break,
+                            (Some(x), Some(y)) => {
+                                prop_assert_eq!((x.at, x.seq), (y.at, y.seq), "pop diverged");
+                                clock = x.at.as_nanos();
+                            }
+                            (x, y) => panic!(
+                                "backends diverged: wheel={:?} heap={:?}",
+                                x.map(|s| (s.at, s.seq)),
+                                y.map(|s| (s.at, s.seq))
+                            ),
+                        }
+                    }
+                    clock = clock.max(horizon.as_nanos());
+                    prop_assert_eq!(queues[0].len(), queues[1].len());
+                }
+            }
+        }
+        // Final full drain: nothing may be left behind in either backend.
+        let horizon = SimTime::from_nanos(u64::MAX);
+        loop {
+            let [wheel, heap] = &mut queues;
+            match (
+                wheel.pop_at_or_before(horizon),
+                heap.pop_at_or_before(horizon),
+            ) {
+                (None, None) => break,
+                (Some(x), Some(y)) => prop_assert_eq!((x.at, x.seq), (y.at, y.seq)),
+                (x, y) => panic!(
+                    "backends diverged at tail: wheel={:?} heap={:?}",
+                    x.map(|s| (s.at, s.seq)),
+                    y.map(|s| (s.at, s.seq))
+                ),
+            }
+        }
+    }
+
+    /// Crossing [`MIGRATE_THRESHOLD`] mid-run must be invisible: a
+    /// workload that starts direct, migrates on push 2049, and keeps
+    /// interleaving drains pops identically to the heap backend. The
+    /// entry mix spans every wheel level plus the overflow map so the
+    /// migration distributes into all of them.
+    #[test]
+    fn migration_to_hierarchical_is_invisible() {
+        let mut queues = [
+            EventQueue::new(SchedBackend::Wheel),
+            EventQueue::new(SchedBackend::Heap),
+        ];
+        let mut seq = 0u64;
+        let mut push_both = |at: u64| {
+            for q in queues.iter_mut() {
+                q.push(entry(at, seq));
+            }
+            seq += 1;
+        };
+        // A deterministic spread: microseconds to hours, plus clusters.
+        for i in 0..(MIGRATE_THRESHOLD as u64 + 700) {
+            let at = match i % 5 {
+                0 => 1_000 + i * 37,                   // near, sub-tick
+                1 => 5_000_000 + (i % 64) * 1_048_576, // level 0-1 ticks
+                2 => 400_000_000 + i * 13_337,         // level 1-2
+                3 => 90_000_000_000 + i * 1_000_003,   // level 3-4
+                _ => 20_000_000_000_000 + i * 999_999, // overflow (~5.5 h)
+            };
+            push_both(at);
+        }
+        let [wheel, heap] = &mut queues;
+        assert_eq!(wheel.len(), heap.len());
+        let horizon = SimTime::from_nanos(u64::MAX);
+        let mut popped = 0usize;
+        loop {
+            match (
+                wheel.pop_at_or_before(horizon),
+                heap.pop_at_or_before(horizon),
+            ) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.at, x.seq), (y.at, y.seq), "diverged after {popped} pops");
+                    popped += 1;
+                }
+                (x, y) => panic!(
+                    "backends diverged: wheel={:?} heap={:?}",
+                    x.map(|s| (s.at, s.seq)),
+                    y.map(|s| (s.at, s.seq))
+                ),
+            }
+        }
+        assert_eq!(popped, MIGRATE_THRESHOLD + 700);
+    }
+
+    tm_prop! {
+        #![tm_config(cases = 96)]
+
+        #[test]
+        fn wheel_matches_heap_on_random_workloads(
+            ops in collection::vec(
+                prop_oneof![
+                    (0u64..3_000_000).prop_map(Op::Schedule),
+                    (0u64..2_000_000, 1u8..12).prop_map(|(d, n)| Op::Burst(d, n)),
+                    // 1 s .. ~3 h: wheel levels 3-4 plus the overflow map.
+                    (1_000_000_000u64..10_000_000_000_000).prop_map(Op::Far),
+                    (0u64..40_000_000_000).prop_map(Op::Drain),
+                ],
+                1..40,
+            )
+        ) {
+            diff_backends(&ops);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Differential scheduler suite: the timing wheel and the binary heap must
+//! be observationally indistinguishable.
+//!
+//! The wheel replaces the heap as the engine's event queue for throughput;
+//! the determinism contract demands the swap be invisible — same `(time,
+//! seq)` pop order, hence byte-identical traces and telemetry. These tests
+//! run *identical scenarios* under both backends (selected per-spec via
+//! [`NetworkSpec::set_sched_backend`]) and compare the full trace `Debug`
+//! rendering plus the metrics snapshot, byte for byte:
+//!
+//! * a scripted periodic-control-load scenario (LLDP-ish timers, echo
+//!   probes, flow churn) over a jittered fabric,
+//! * the same scenario under a kitchen-sink fault plan (loss, spikes,
+//!   flaps, a switch restart, control congestion),
+//! * a Port-Amnesia-shaped hijack cycle (victim iface down, attacker
+//!   re-announces the identity, victim returns) — exercising the engine's
+//!   epoch-based cancellation idiom,
+//! * a `tm_prop!`-generated randomized workload (burst traffic, identity
+//!   flaps, odd run slices) shrunk to a minimal divergence on failure.
+
+use std::any::Any;
+
+use netsim::{
+    ControllerCtx, ControllerLogic, FaultPlan, FaultWindow, FrameDisposition, HostApp, HostCtx,
+    LinkProfile, LossModel, NetworkSpec, SchedBackend, Simulator, TimerId,
+};
+use openflow::{Action, FlowMatch, FlowModCommand, OfMessage, Xid};
+use sdn_types::packet::{EthernetFrame, Payload};
+use sdn_types::{DatapathId, Duration, HostId, IpAddr, MacAddr, PortNo, SimTime};
+use tm_prop::prelude::*;
+use tm_telemetry::Telemetry;
+
+const SW1: DatapathId = DatapathId::new(1);
+const SW2: DatapathId = DatapathId::new(2);
+const SW3: DatapathId = DatapathId::new(3);
+const H1: HostId = HostId::new(1);
+const H2: HostId = HostId::new(2);
+
+const LLDP_TICK: TimerId = TimerId(1);
+const PROBE_TICK: TimerId = TimerId(2);
+
+/// A controller producing the periodic LLDP-and-probe control load the
+/// wheel is tuned for: a 1 s "discovery round" re-arming timer, a 150 ms
+/// echo-probe timer, and flow churn (install/delete cycles) on every third
+/// probe tick.
+struct PeriodicController {
+    probes: u64,
+}
+
+impl PeriodicController {
+    fn new() -> Self {
+        PeriodicController { probes: 0 }
+    }
+}
+
+impl ControllerLogic for PeriodicController {
+    fn on_start(&mut self, ctx: &mut ControllerCtx<'_>) {
+        for dpid in ctx.switch_ids() {
+            ctx.send(
+                dpid,
+                OfMessage::FlowMod {
+                    command: FlowModCommand::Add,
+                    flow_match: FlowMatch::new(),
+                    priority: 1,
+                    idle_timeout_secs: 0,
+                    hard_timeout_secs: 0,
+                    actions: vec![Action::Output(PortNo::new(2))],
+                    cookie: 0,
+                },
+            );
+        }
+        ctx.set_timer(Duration::from_secs(1), LLDP_TICK);
+        ctx.set_timer(Duration::from_millis(150), PROBE_TICK);
+    }
+
+    fn on_message(&mut self, _ctx: &mut ControllerCtx<'_>, _dpid: DatapathId, _msg: OfMessage) {}
+
+    fn on_timer(&mut self, ctx: &mut ControllerCtx<'_>, id: TimerId) {
+        match id {
+            LLDP_TICK => {
+                // A discovery round: touch every switch, re-arm.
+                for dpid in ctx.switch_ids() {
+                    ctx.send(dpid, OfMessage::FeaturesRequest);
+                }
+                ctx.set_timer(Duration::from_secs(1), LLDP_TICK);
+            }
+            PROBE_TICK => {
+                self.probes += 1;
+                let targets = ctx.switch_ids();
+                let target = targets[(self.probes as usize) % targets.len()];
+                ctx.send(
+                    target,
+                    OfMessage::EchoRequest {
+                        xid: Xid(self.probes),
+                        payload: self.probes * 31,
+                    },
+                );
+                if self.probes % 3 == 0 {
+                    // Flow churn: a short-lived narrow rule on the target.
+                    ctx.send(
+                        target,
+                        OfMessage::FlowMod {
+                            command: FlowModCommand::Add,
+                            flow_match: FlowMatch::new().with_ethertype(0x1234),
+                            priority: 200,
+                            idle_timeout_secs: 1,
+                            hard_timeout_secs: 2,
+                            actions: vec![Action::Output(PortNo::new(1))],
+                            cookie: self.probes,
+                        },
+                    );
+                }
+                ctx.set_timer(Duration::from_millis(150), PROBE_TICK);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Consumes everything so bursts terminate at the far host.
+#[derive(Default)]
+struct Sink;
+
+impl HostApp for Sink {
+    fn on_frame(&mut self, _ctx: &mut HostCtx<'_>, _frame: &EthernetFrame) -> FrameDisposition {
+        FrameDisposition::Consume
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn test_frame(i: u16) -> EthernetFrame {
+    EthernetFrame::new(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        Payload::Opaque {
+            ethertype: 0x1234,
+            data: i.to_le_bytes().to_vec(),
+        },
+    )
+}
+
+/// Three switches in a chain (loop-free, so FLOOD is safe), jittered
+/// trunks, a host on each end, the periodic controller in the slot.
+fn chain_spec(backend: SchedBackend) -> NetworkSpec {
+    let edge = LinkProfile::fixed(Duration::from_millis(1));
+    let trunk = LinkProfile::testbed_dataplane();
+    let mut spec = NetworkSpec::new();
+    spec.add_switch(SW1);
+    spec.add_switch(SW2);
+    spec.add_switch(SW3);
+    spec.link_switches(SW1, PortNo::new(2), SW2, PortNo::new(1), trunk);
+    spec.link_switches(SW2, PortNo::new(2), SW3, PortNo::new(1), trunk);
+    spec.add_host(H1, MacAddr::from_index(1), IpAddr::new(10, 0, 0, 1));
+    spec.add_host(H2, MacAddr::from_index(2), IpAddr::new(10, 0, 0, 2));
+    spec.attach_host(H1, SW1, PortNo::new(1), edge);
+    spec.attach_host(H2, SW3, PortNo::new(2), edge);
+    spec.set_host_app(H2, Box::<Sink>::default());
+    spec.set_controller(Box::new(PeriodicController::new()));
+    spec.set_telemetry(Telemetry::new());
+    spec.set_sched_backend(backend);
+    spec
+}
+
+/// The full observable output of a run: trace rendered via `Debug` plus the
+/// telemetry snapshot. Backend equivalence means these strings are equal.
+fn fingerprint(sim: &Simulator) -> String {
+    format!(
+        "{:#?}\n{}",
+        sim.trace().records(),
+        sim.metrics_snapshot().render()
+    )
+}
+
+fn diff_scenario(seed: u64, label: &str, scenario: impl Fn(NetworkSpec) -> String) {
+    let wheel = scenario(chain_spec(SchedBackend::Wheel));
+    let heap = scenario(chain_spec(SchedBackend::Heap));
+    assert_eq!(
+        wheel, heap,
+        "{label} (seed {seed}): wheel and heap traces diverged"
+    );
+}
+
+/// Host bursts at staggered offsets, run in uneven slices so the engine
+/// horizon lands both inside and between wheel windows.
+fn drive_bursts(sim: &mut Simulator, secs: u16) {
+    sim.run_for(Duration::from_millis(10));
+    for s in 0..secs {
+        for i in 0..5_u16 {
+            sim.host_send_frame(H1, test_frame(s * 10 + i));
+        }
+        sim.run_for(Duration::from_millis(333));
+        sim.run_for(Duration::from_millis(667));
+    }
+}
+
+#[test]
+fn periodic_control_load_is_backend_identical() {
+    for seed in [1_u64, 7, 0xD5_2018] {
+        diff_scenario(seed, "periodic load", |spec| {
+            let mut sim = Simulator::new(spec, seed);
+            drive_bursts(&mut sim, 6);
+            fingerprint(&sim)
+        });
+    }
+}
+
+/// Loss, latency spikes, a flap, a restart, and control congestion — every
+/// fault kind runs through the queue under test.
+fn fault_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let window = FaultWindow::new(SimTime::from_secs(1), SimTime::from_secs(4));
+    plan.link_loss(
+        SW1,
+        PortNo::new(2),
+        LossModel::gilbert_elliott(0.3, 0.4, 0.05, 0.9),
+        window,
+    );
+    plan.latency_spike(
+        SW2,
+        PortNo::new(2),
+        Duration::from_millis(6),
+        Duration::from_millis(2),
+        window,
+    );
+    plan.link_flap(
+        SW3,
+        PortNo::new(2),
+        SimTime::from_secs(2),
+        SimTime::from_millis(2600),
+    );
+    plan.switch_restart(SW2, SimTime::from_secs(3), Duration::from_millis(200));
+    plan.ctrl_congestion(
+        SW1,
+        Duration::from_millis(15),
+        FaultWindow::new(SimTime::from_secs(1), SimTime::from_secs(5)),
+    );
+    plan
+}
+
+#[test]
+fn faulted_run_is_backend_identical() {
+    for seed in [3_u64, 99] {
+        diff_scenario(seed, "faulted run", |spec| {
+            let mut sim = Simulator::with_fault_plan(spec, seed, fault_plan());
+            drive_bursts(&mut sim, 6);
+            fingerprint(&sim)
+        });
+    }
+}
+
+/// A Port-Amnesia-shaped host-location hijack: the victim's interface goes
+/// down, the "attacker" brings it back up wearing the victim's identity,
+/// then the victim returns. Every down/up cycle bumps the host's epoch,
+/// invalidating in-flight timers — the engine's cancellation idiom.
+#[test]
+fn hijack_cycle_is_backend_identical() {
+    for seed in [5_u64, 42] {
+        diff_scenario(seed, "hijack cycle", |spec| {
+            let mut sim = Simulator::new(spec, seed);
+            drive_bursts(&mut sim, 2);
+            sim.host_iface_down(H2);
+            sim.host_schedule_iface_up(
+                H2,
+                Duration::from_millis(40),
+                Some((MacAddr::from_index(1), IpAddr::new(10, 0, 0, 1))),
+            );
+            sim.run_for(Duration::from_secs(1));
+            // Victim comes back under its own name; stale timers from the
+            // first cycle must already be dead under both backends.
+            sim.host_iface_down(H2);
+            sim.host_schedule_iface_up(
+                H2,
+                Duration::from_millis(25),
+                Some((MacAddr::from_index(2), IpAddr::new(10, 0, 0, 2))),
+            );
+            drive_bursts(&mut sim, 2);
+            fingerprint(&sim)
+        });
+    }
+}
+
+/// One step of the randomized workload script.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Send `n` back-to-back frames from H1.
+    Burst(u8),
+    /// Advance virtual time by `ms` milliseconds (1..=1500).
+    Run(u16),
+    /// Flap H2's interface, coming back after `ms` with a toggled identity.
+    Flap(u16),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u8..8).prop_map(Step::Burst),
+        (1u16..1500).prop_map(Step::Run),
+        (1u16..300).prop_map(Step::Flap),
+    ]
+}
+
+tm_prop! {
+    #![tm_config(cases = 16)]
+
+    /// Randomized end-to-end diff: any interleaving of bursts, uneven run
+    /// slices, and identity flaps must fingerprint identically under both
+    /// backends. On failure tm-prop shrinks the script to the minimal
+    /// diverging sequence.
+    #[test]
+    fn random_workloads_are_backend_identical(
+        steps in collection::vec(step_strategy(), 1..12),
+        seed in 0u64..1_000,
+    ) {
+        let run = |backend: SchedBackend| {
+            let mut sim = Simulator::new(chain_spec(backend), seed);
+            let mut frame_no = 0u16;
+            let mut masquerade = false;
+            for step in &steps {
+                match step {
+                    Step::Burst(n) => {
+                        for _ in 0..*n {
+                            frame_no += 1;
+                            sim.host_send_frame(H1, test_frame(frame_no));
+                        }
+                    }
+                    Step::Run(ms) => sim.run_for(Duration::from_millis(*ms as u64)),
+                    Step::Flap(ms) => {
+                        masquerade = !masquerade;
+                        let identity = if masquerade {
+                            (MacAddr::from_index(1), IpAddr::new(10, 0, 0, 1))
+                        } else {
+                            (MacAddr::from_index(2), IpAddr::new(10, 0, 0, 2))
+                        };
+                        sim.host_iface_down(H2);
+                        sim.host_schedule_iface_up(
+                            H2,
+                            Duration::from_millis(*ms as u64),
+                            Some(identity),
+                        );
+                    }
+                }
+            }
+            sim.run_for(Duration::from_secs(1));
+            fingerprint(&sim)
+        };
+        prop_assert_eq!(run(SchedBackend::Wheel), run(SchedBackend::Heap));
+    }
+}

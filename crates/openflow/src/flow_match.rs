@@ -7,7 +7,7 @@ use sdn_types::{IpAddr, MacAddr, PortNo};
 ///
 /// Matching follows OpenFlow 1.0 semantics: a packet matches if every
 /// specified field equals the packet's corresponding header value.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct FlowMatch {
     /// Ingress port.
     pub in_port: Option<PortNo>,

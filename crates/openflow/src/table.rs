@@ -1,6 +1,10 @@
 //! The switch flow table: priority-ordered rules with timeouts and
 //! counters.
 
+use std::cmp::Reverse;
+use std::collections::btree_map::Entry as BandEntry;
+use std::collections::BTreeMap;
+
 use sdn_types::packet::EthernetFrame;
 use sdn_types::{Duration, PortNo, SimTime};
 
@@ -113,13 +117,58 @@ pub enum MatchOutcome {
     Miss,
 }
 
+/// One priority level: rules in installation order plus a match index so
+/// duplicate detection on insert is a lookup, not a scan.
+#[derive(Clone, Debug, Default)]
+struct Band {
+    entries: Vec<FlowEntry>,
+    by_match: BTreeMap<FlowMatch, usize>,
+}
+
+impl Band {
+    /// Drops entries failing `keep`, appending them to `removed` with the
+    /// reason `reason_of` yields, and reindexes if anything left.
+    fn evict<K, R>(&mut self, removed: &mut Vec<RemovedFlow>, mut keep: K, mut reason_of: R)
+    where
+        K: FnMut(&FlowEntry) -> bool,
+        R: FnMut(&FlowEntry) -> FlowRemovedReason,
+    {
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            if keep(e) {
+                true
+            } else {
+                removed.push(RemovedFlow {
+                    entry: e.clone(),
+                    reason: reason_of(e),
+                });
+                false
+            }
+        });
+        if self.entries.len() != before {
+            self.by_match = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e.flow_match, i))
+                .collect();
+        }
+    }
+}
+
 /// A priority-ordered flow table.
 ///
 /// Rules are consulted highest-priority first; among equal priorities the
-/// earliest-installed wins (stable order).
+/// earliest-installed wins (stable order). Internally rules live in
+/// per-priority bands (a `BTreeMap` keyed by descending priority), each
+/// carrying a match→slot index, so `insert` does two ordered-map lookups
+/// instead of the two full-table scans a flat vector needs — the difference
+/// between O(log n) and O(n²) when a controller pushes thousands of rules
+/// at one priority.
 #[derive(Clone, Debug, Default)]
 pub struct FlowTable {
-    entries: Vec<FlowEntry>,
+    bands: BTreeMap<Reverse<u16>, Band>,
+    len: usize,
 }
 
 impl FlowTable {
@@ -130,70 +179,71 @@ impl FlowTable {
 
     /// Number of installed rules.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Returns `true` if no rules are installed.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Iterates over installed rules in consultation order.
     pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
-        self.entries.iter()
+        self.bands.values().flat_map(|b| b.entries.iter())
     }
 
     /// Installs `entry` at time `now`. An existing rule with identical match
-    /// and priority is replaced (counters reset), per OpenFlow semantics.
+    /// and priority is replaced in place (counters reset), per OpenFlow
+    /// semantics — replacement keeps the rule's consultation slot among its
+    /// equal-priority peers.
     pub fn insert(&mut self, mut entry: FlowEntry, now: SimTime) {
         entry.installed_at = now;
         entry.last_hit = now;
         entry.packet_count = 0;
         entry.byte_count = 0;
-        if let Some(existing) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.flow_match == entry.flow_match && e.priority == entry.priority)
-        {
-            *existing = entry;
-            return;
+        let band = self.bands.entry(Reverse(entry.priority)).or_default();
+        match band.by_match.entry(entry.flow_match) {
+            BandEntry::Occupied(slot) => {
+                band.entries[*slot.get()] = entry;
+            }
+            BandEntry::Vacant(slot) => {
+                slot.insert(band.entries.len());
+                band.entries.push(entry);
+                self.len += 1;
+            }
         }
-        // Insert maintaining descending priority, stable among equals.
-        let pos = self
-            .entries
-            .iter()
-            .position(|e| e.priority < entry.priority)
-            .unwrap_or(self.entries.len());
-        self.entries.insert(pos, entry);
     }
 
     /// Deletes all rules subsumed by the wildcard pattern `flow_match`
-    /// (OpenFlow 1.0 DELETE semantics), returning them.
+    /// (OpenFlow 1.0 DELETE semantics), returning them in consultation
+    /// order.
     pub fn delete(&mut self, flow_match: &FlowMatch) -> Vec<RemovedFlow> {
         let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            if flow_match.subsumes(&e.flow_match) {
-                removed.push(RemovedFlow {
-                    entry: e.clone(),
-                    reason: FlowRemovedReason::Delete,
-                });
-                false
-            } else {
-                true
-            }
-        });
+        for band in self.bands.values_mut() {
+            band.evict(
+                &mut removed,
+                |e| !flow_match.subsumes(&e.flow_match),
+                |_| FlowRemovedReason::Delete,
+            );
+        }
+        self.finish_eviction(&removed);
         removed
     }
 
     /// Deletes every rule, returning them (used on switch restart).
     pub fn clear(&mut self) -> Vec<RemovedFlow> {
-        self.entries
-            .drain(..)
+        let removed = self
+            .bands
+            .values_mut()
+            .flat_map(|b| b.entries.drain(..))
             .map(|entry| RemovedFlow {
                 entry,
                 reason: FlowRemovedReason::Delete,
             })
-            .collect()
+            .collect();
+        self.bands.clear();
+        self.len = 0;
+        removed
     }
 
     /// Offers `frame` (arriving on `in_port` at `now`) to the table.
@@ -207,7 +257,7 @@ impl FlowTable {
         now: SimTime,
     ) -> MatchOutcome {
         let wire_len = frame.wire_len() as u64;
-        for entry in &mut self.entries {
+        for entry in self.bands.values_mut().flat_map(|b| b.entries.iter_mut()) {
             if entry.expired_reason(now).is_some() {
                 continue; // expired rules never match; eviction happens in `expire`
             }
@@ -226,27 +276,31 @@ impl FlowTable {
         MatchOutcome::Miss
     }
 
-    /// Evicts expired rules as of `now`, returning them for FlowRemoved
-    /// notifications.
+    /// Evicts expired rules as of `now`, returning them in consultation
+    /// order for FlowRemoved notifications.
     pub fn expire(&mut self, now: SimTime) -> Vec<RemovedFlow> {
         let mut removed = Vec::new();
-        self.entries.retain(|e| match e.expired_reason(now) {
-            Some(reason) => {
-                removed.push(RemovedFlow {
-                    entry: e.clone(),
-                    reason,
-                });
-                false
-            }
-            None => true,
-        });
+        for band in self.bands.values_mut() {
+            band.evict(
+                &mut removed,
+                |e| e.expired_reason(now).is_none(),
+                // The closure runs only on entries whose expiry is Some.
+                |e| e.expired_reason(now).unwrap_or(FlowRemovedReason::Delete),
+            );
+        }
+        self.finish_eviction(&removed);
         removed
+    }
+
+    /// Drops now-empty bands and accounts for `removed` entries.
+    fn finish_eviction(&mut self, removed: &[RemovedFlow]) {
+        self.bands.retain(|_, b| !b.entries.is_empty());
+        self.len -= removed.len();
     }
 
     /// Snapshots per-flow statistics (for a FlowStatsReply).
     pub fn stats(&self) -> Vec<FlowStatsEntry> {
-        self.entries
-            .iter()
+        self.entries()
             .map(|e| FlowStatsEntry {
                 flow_match: e.flow_match,
                 priority: e.priority,
@@ -422,6 +476,110 @@ mod tests {
             MatchOutcome::Forward { ports, .. } => assert!(ports.is_empty()),
             other => panic!("expected forward(drop), got {other:?}"),
         }
+    }
+
+    #[test]
+    fn consultation_order_is_priority_then_installation() {
+        let mut table = FlowTable::new();
+        let m = |d: u8| FlowMatch::new().with_eth_dst(MacAddr::new([d; 6]));
+        table.insert(FlowEntry::new(m(1), out(1)).with_priority(5), SimTime::ZERO);
+        table.insert(FlowEntry::new(m(2), out(2)).with_priority(9), SimTime::ZERO);
+        table.insert(FlowEntry::new(m(3), out(3)).with_priority(5), SimTime::ZERO);
+        table.insert(FlowEntry::new(m(4), out(4)).with_priority(7), SimTime::ZERO);
+        let order: Vec<u16> = table.entries().map(|e| e.priority).collect();
+        assert_eq!(order, vec![9, 7, 5, 5]);
+        let dsts: Vec<_> = table.entries().map(|e| e.flow_match.eth_dst).collect();
+        assert_eq!(
+            dsts,
+            vec![
+                Some(MacAddr::new([2; 6])),
+                Some(MacAddr::new([4; 6])),
+                Some(MacAddr::new([1; 6])),
+                Some(MacAddr::new([3; 6])),
+            ]
+        );
+    }
+
+    #[test]
+    fn replace_keeps_the_original_consultation_slot() {
+        // Two same-priority catch-alls that both match the test frame:
+        // replacing the first must not demote it behind the second.
+        let mut table = FlowTable::new();
+        let first = FlowMatch::new().with_eth_src(MacAddr::new([1; 6]));
+        let second = FlowMatch::new();
+        table.insert(FlowEntry::new(first, out(1)), SimTime::ZERO);
+        table.insert(FlowEntry::new(second, out(2)), SimTime::ZERO);
+        table.insert(FlowEntry::new(first, out(3)), SimTime::from_secs(1));
+        assert_eq!(table.len(), 2);
+        match table.process(&frame(2), PortNo::new(9), SimTime::from_secs(1)) {
+            MatchOutcome::Forward { ports, .. } => assert_eq!(ports, vec![PortNo::new(3)]),
+            other => panic!("expected replaced rule to match first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expire_insert_interleaving_preserves_eviction_order_and_index() {
+        let mut table = FlowTable::new();
+        let m = |d: u8| FlowMatch::new().with_eth_dst(MacAddr::new([d; 6]));
+        // Three same-priority rules; the middle one will idle out first.
+        table.insert(
+            FlowEntry::new(m(1), out(1)).with_idle_timeout(Duration::from_secs(10)),
+            SimTime::ZERO,
+        );
+        table.insert(
+            FlowEntry::new(m(2), out(2)).with_idle_timeout(Duration::from_secs(2)),
+            SimTime::ZERO,
+        );
+        table.insert(
+            FlowEntry::new(m(3), out(3)).with_hard_timeout(Duration::from_secs(4)),
+            SimTime::ZERO,
+        );
+        let removed = table.expire(SimTime::from_secs(5));
+        // Eviction order follows consultation order: m2 (idle) before m3 (hard).
+        assert_eq!(
+            removed
+                .iter()
+                .map(|r| (r.entry.flow_match.eth_dst, r.reason))
+                .collect::<Vec<_>>(),
+            vec![
+                (Some(MacAddr::new([2; 6])), FlowRemovedReason::IdleTimeout),
+                (Some(MacAddr::new([3; 6])), FlowRemovedReason::HardTimeout),
+            ]
+        );
+        assert_eq!(table.len(), 1);
+        // The survivor's index slot must have been rebuilt: replacing it
+        // still lands on the survivor, not a stale position.
+        table.insert(
+            FlowEntry::new(m(1), out(7)).with_idle_timeout(Duration::from_secs(10)),
+            SimTime::from_secs(5),
+        );
+        assert_eq!(table.len(), 1);
+        match table.process(&frame(1), PortNo::new(9), SimTime::from_secs(5)) {
+            MatchOutcome::Forward { ports, .. } => assert_eq!(ports, vec![PortNo::new(7)]),
+            other => panic!("expected replaced survivor, got {other:?}"),
+        }
+        // Reinstalling an evicted match is a fresh install at the band tail.
+        table.insert(FlowEntry::new(m(2), out(8)), SimTime::from_secs(5));
+        assert_eq!(table.len(), 2);
+        let dsts: Vec<_> = table.entries().map(|e| e.flow_match.eth_dst).collect();
+        assert_eq!(
+            dsts,
+            vec![Some(MacAddr::new([1; 6])), Some(MacAddr::new([2; 6]))]
+        );
+    }
+
+    #[test]
+    fn delete_drops_empty_bands_and_keeps_len_consistent() {
+        let mut table = FlowTable::new();
+        let m = FlowMatch::new().with_eth_dst(MacAddr::new([2; 6]));
+        table.insert(FlowEntry::new(m, out(1)).with_priority(50), SimTime::ZERO);
+        table.insert(FlowEntry::new(FlowMatch::new(), out(2)), SimTime::ZERO);
+        assert_eq!(table.delete(&m).len(), 1);
+        assert_eq!(table.len(), 1);
+        // Re-adding at the emptied priority works from scratch.
+        table.insert(FlowEntry::new(m, out(3)).with_priority(50), SimTime::ZERO);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.entries().count(), 2);
     }
 
     #[test]

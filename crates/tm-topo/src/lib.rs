@@ -1,0 +1,641 @@
+//! Seeded topology generators for datacenter- and enterprise-scale fabrics.
+//!
+//! The paper's experiments run on hand-built Mininet topologies of a few
+//! switches; reproducing the *scaling* behaviour of discovery, defenses, and
+//! the event engine needs fabrics with hundreds of switches that are still a
+//! pure function of their parameters. This crate generates them:
+//!
+//! * **Fat-tree(k)** — the canonical datacenter fabric: `(k/2)²` core
+//!   switches, `k` pods of `k/2` aggregation + `k/2` edge switches
+//!   (`5k²/4` switches total), and `k³/4` hosts. Every switch uses exactly
+//!   `k` ports.
+//! * **Core–edge** — an enterprise fabric: a full mesh of core switches with
+//!   dual-homed edge switches hanging off it.
+//! * **Linear** and **ring** — the degenerate chains used by the paper's
+//!   small-scale experiments, parameterized.
+//!
+//! A [`TopoKind`] names the shape; [`TopoKind::generate`] emits a typed
+//! [`TopologySpec`] listing switches, inter-switch links, host placements,
+//! and attacker-controlled hosts. The *fabric* is a pure function of the
+//! parameters — the seed only drives attacker placement, through a forked
+//! [`tm_rand`] stream, so the same fabric hosts different attacker draws
+//! without a single link moving. [`TopologySpec::build_network`] turns the
+//! spec into a [`netsim::NetworkSpec`] ready for `Simulator::new`.
+//!
+//! # Example
+//!
+//! ```
+//! use tm_topo::TopoKind;
+//!
+//! let topo = TopoKind::FatTree { k: 4 }.generate(7, 1);
+//! assert_eq!(topo.switches.len(), 20); // 5k²/4
+//! assert_eq!(topo.hosts.len(), 16); // k³/4
+//! assert_eq!(topo.attackers.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use netsim::{LinkProfile, NetworkSpec};
+use sdn_types::{DatapathId, HostId, IpAddr, MacAddr, PortNo};
+use tm_rand::{Rng, StdRng};
+
+/// Stream id under which attacker placement is drawn, so the draw never
+/// perturbs (and is never perturbed by) any other consumer of the seed.
+const ATTACKER_STREAM: u64 = 0xA77A;
+
+/// A bidirectional inter-switch link in a generated fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchLink {
+    /// One end of the link.
+    pub a: DatapathId,
+    /// Port used on `a`.
+    pub port_a: PortNo,
+    /// The other end of the link.
+    pub b: DatapathId,
+    /// Port used on `b`.
+    pub port_b: PortNo,
+}
+
+/// A host and where it plugs into the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostPlacement {
+    /// Simulation-level host id (sequential from 1).
+    pub id: HostId,
+    /// The host's MAC address (derived from its id).
+    pub mac: MacAddr,
+    /// The host's IP address (derived from its id).
+    pub ip: IpAddr,
+    /// Edge switch the host attaches to.
+    pub dpid: DatapathId,
+    /// Port on that switch.
+    pub port: PortNo,
+}
+
+/// A fully elaborated topology: the typed output of a generator.
+///
+/// Switches, links, and hosts describe the fabric (seed-independent);
+/// `attackers` lists which hosts the scenario hands to the adversary
+/// (seed-dependent, drawn from a forked stream).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Canonical label of the generating [`TopoKind`] (e.g. `fat-tree-8`).
+    pub name: String,
+    /// All switch datapath ids, in creation order (sequential from 1).
+    pub switches: Vec<DatapathId>,
+    /// All inter-switch links, in deterministic creation order.
+    pub links: Vec<SwitchLink>,
+    /// All host placements, in deterministic creation order.
+    pub hosts: Vec<HostPlacement>,
+    /// Hosts handed to the adversary, in draw order.
+    pub attackers: Vec<HostId>,
+}
+
+impl TopologySpec {
+    /// Instantiates the spec as a [`NetworkSpec`]: inter-switch links get
+    /// `trunk`, host attachments get `edge`.
+    ///
+    /// The result is ready for `netsim::Simulator::new`; callers layer on a
+    /// controller, host apps, telemetry, and fault plans as usual.
+    pub fn build_network(&self, trunk: LinkProfile, edge: LinkProfile) -> NetworkSpec {
+        let mut spec = NetworkSpec::new();
+        for &dpid in &self.switches {
+            spec.add_switch(dpid);
+        }
+        for l in &self.links {
+            spec.link_switches(l.a, l.port_a, l.b, l.port_b, trunk);
+        }
+        for h in &self.hosts {
+            spec.add_host(h.id, h.mac, h.ip);
+            spec.attach_host(h.id, h.dpid, h.port, edge);
+        }
+        spec
+    }
+
+    /// Per-switch port usage: inter-switch link endpoints plus host
+    /// attachments. Useful for degree/radix assertions.
+    pub fn degrees(&self) -> BTreeMap<DatapathId, usize> {
+        let mut deg: BTreeMap<DatapathId, usize> = BTreeMap::new();
+        for &dpid in &self.switches {
+            deg.insert(dpid, 0);
+        }
+        for l in &self.links {
+            *deg.entry(l.a).or_insert(0) += 1;
+            *deg.entry(l.b).or_insert(0) += 1;
+        }
+        for h in &self.hosts {
+            *deg.entry(h.dpid).or_insert(0) += 1;
+        }
+        deg
+    }
+}
+
+/// A topology family plus its parameters; [`generate`](TopoKind::generate)
+/// elaborates it into a [`TopologySpec`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoKind {
+    /// Canonical k-ary fat-tree: `5k²/4` switches, `k³/4` hosts, every
+    /// switch using exactly `k` ports. `k` must be even and ≥ 2.
+    FatTree {
+        /// Switch radix (ports per switch); even, ≥ 2.
+        k: u16,
+    },
+    /// Enterprise core–edge: `core` fully meshed core switches; each edge
+    /// switch dual-homed to two cores (single-homed when `core == 1`).
+    CoreEdge {
+        /// Number of core switches (≥ 1).
+        core: u16,
+        /// Number of edge switches.
+        edge: u16,
+        /// Hosts attached to each edge switch.
+        hosts_per_edge: u16,
+    },
+    /// A chain of switches, `hosts_per_switch` hosts on each.
+    Linear {
+        /// Number of switches in the chain (≥ 1).
+        switches: u16,
+        /// Hosts attached to each switch.
+        hosts_per_switch: u16,
+    },
+    /// A cycle of switches (≥ 3 so the wrap link is distinct).
+    Ring {
+        /// Number of switches in the cycle (≥ 3).
+        switches: u16,
+        /// Hosts attached to each switch.
+        hosts_per_switch: u16,
+    },
+}
+
+impl TopoKind {
+    /// Number of switches this kind elaborates to.
+    pub fn switch_count(&self) -> usize {
+        match *self {
+            TopoKind::FatTree { k } => 5 * (k as usize) * (k as usize) / 4,
+            TopoKind::CoreEdge { core, edge, .. } => core as usize + edge as usize,
+            TopoKind::Linear { switches, .. } | TopoKind::Ring { switches, .. } => {
+                switches as usize
+            }
+        }
+    }
+
+    /// Number of hosts this kind elaborates to.
+    pub fn host_count(&self) -> usize {
+        match *self {
+            TopoKind::FatTree { k } => (k as usize).pow(3) / 4,
+            TopoKind::CoreEdge {
+                edge,
+                hosts_per_edge,
+                ..
+            } => edge as usize * hosts_per_edge as usize,
+            TopoKind::Linear {
+                switches,
+                hosts_per_switch,
+            }
+            | TopoKind::Ring {
+                switches,
+                hosts_per_switch,
+            } => switches as usize * hosts_per_switch as usize,
+        }
+    }
+
+    /// Canonical label, also used as the campaign `topology` axis value:
+    /// `fat-tree-8`, `core-edge-4x96x1`, `linear-4`, `ring-8x2`.
+    /// Linear/ring omit the `x{hosts}` suffix when it is 1.
+    pub fn label(&self) -> String {
+        match *self {
+            TopoKind::FatTree { k } => format!("fat-tree-{k}"),
+            TopoKind::CoreEdge {
+                core,
+                edge,
+                hosts_per_edge,
+            } => format!("core-edge-{core}x{edge}x{hosts_per_edge}"),
+            TopoKind::Linear {
+                switches,
+                hosts_per_switch: 1,
+            } => format!("linear-{switches}"),
+            TopoKind::Linear {
+                switches,
+                hosts_per_switch,
+            } => format!("linear-{switches}x{hosts_per_switch}"),
+            TopoKind::Ring {
+                switches,
+                hosts_per_switch: 1,
+            } => format!("ring-{switches}"),
+            TopoKind::Ring {
+                switches,
+                hosts_per_switch,
+            } => format!("ring-{switches}x{hosts_per_switch}"),
+        }
+    }
+
+    /// Parses a label produced by [`label`](TopoKind::label). Returns `None`
+    /// for unknown families or malformed parameters (validity of the values
+    /// themselves is still checked by [`generate`](TopoKind::generate)).
+    pub fn from_label(label: &str) -> Option<TopoKind> {
+        if let Some(rest) = label.strip_prefix("fat-tree-") {
+            return Some(TopoKind::FatTree {
+                k: rest.parse().ok()?,
+            });
+        }
+        if let Some(rest) = label.strip_prefix("core-edge-") {
+            let mut parts = rest.split('x');
+            let core = parts.next()?.parse().ok()?;
+            let edge = parts.next()?.parse().ok()?;
+            let hosts_per_edge = parts.next()?.parse().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            return Some(TopoKind::CoreEdge {
+                core,
+                edge,
+                hosts_per_edge,
+            });
+        }
+        if let Some(rest) = label.strip_prefix("linear-") {
+            let (switches, hosts_per_switch) = parse_size_pair(rest)?;
+            return Some(TopoKind::Linear {
+                switches,
+                hosts_per_switch,
+            });
+        }
+        if let Some(rest) = label.strip_prefix("ring-") {
+            let (switches, hosts_per_switch) = parse_size_pair(rest)?;
+            return Some(TopoKind::Ring {
+                switches,
+                hosts_per_switch,
+            });
+        }
+        None
+    }
+
+    /// Elaborates the fabric and draws `attackers` distinct attacker hosts.
+    ///
+    /// The fabric (switches, links, hosts) depends only on the parameters;
+    /// `seed` feeds a forked stream that picks which hosts the adversary
+    /// controls. Two seeds therefore share a byte-identical fabric.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (odd or tiny fat-tree `k`, zero-switch
+    /// chains, rings shorter than 3, more than `u16::MAX` hosts) and when
+    /// `attackers` exceeds the host count: a malformed scenario must fail
+    /// loudly at build time, not mid-simulation.
+    pub fn generate(&self, seed: u64, attackers: usize) -> TopologySpec {
+        let mut b = Builder::new(self.label());
+        match *self {
+            TopoKind::FatTree { k } => build_fat_tree(&mut b, k),
+            TopoKind::CoreEdge {
+                core,
+                edge,
+                hosts_per_edge,
+            } => build_core_edge(&mut b, core, edge, hosts_per_edge),
+            TopoKind::Linear {
+                switches,
+                hosts_per_switch,
+            } => build_chain(&mut b, switches, hosts_per_switch, false),
+            TopoKind::Ring {
+                switches,
+                hosts_per_switch,
+            } => build_chain(&mut b, switches, hosts_per_switch, true),
+        }
+        debug_assert_eq!(b.spec.switches.len(), self.switch_count());
+        debug_assert_eq!(b.spec.hosts.len(), self.host_count());
+        b.finish(seed, attackers)
+    }
+}
+
+impl fmt::Display for TopoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+fn parse_size_pair(rest: &str) -> Option<(u16, u16)> {
+    match rest.split_once('x') {
+        Some((s, h)) => Some((s.parse().ok()?, h.parse().ok()?)),
+        None => Some((rest.parse().ok()?, 1)),
+    }
+}
+
+/// Accumulates switches/links/hosts with sequential ids and per-switch
+/// next-free-port counters, then draws attackers.
+struct Builder {
+    spec: TopologySpec,
+    next_port: BTreeMap<DatapathId, u16>,
+}
+
+impl Builder {
+    fn new(name: String) -> Self {
+        Builder {
+            spec: TopologySpec {
+                name,
+                switches: Vec::new(),
+                links: Vec::new(),
+                hosts: Vec::new(),
+                attackers: Vec::new(),
+            },
+            next_port: BTreeMap::new(),
+        }
+    }
+
+    fn switch(&mut self) -> DatapathId {
+        let dpid = DatapathId::new(self.spec.switches.len() as u64 + 1);
+        self.spec.switches.push(dpid);
+        self.next_port.insert(dpid, 1);
+        dpid
+    }
+
+    fn take_port(&mut self, dpid: DatapathId) -> PortNo {
+        let next = self
+            .next_port
+            .get_mut(&dpid)
+            // tm-lint: allow(unwrap-in-lib) -- internal invariant: generators only wire switches they created
+            .expect("port on generated switch");
+        let port = PortNo::new(*next);
+        *next += 1;
+        port
+    }
+
+    fn link(&mut self, a: DatapathId, b: DatapathId) {
+        let port_a = self.take_port(a);
+        let port_b = self.take_port(b);
+        self.spec.links.push(SwitchLink {
+            a,
+            port_a,
+            b,
+            port_b,
+        });
+    }
+
+    fn host(&mut self, dpid: DatapathId) {
+        let index = self.spec.hosts.len() as u32 + 1;
+        assert!(
+            index <= u16::MAX as u32,
+            "topology exceeds the {} addressable hosts",
+            u16::MAX
+        );
+        let port = self.take_port(dpid);
+        self.spec.hosts.push(HostPlacement {
+            id: HostId::new(index),
+            mac: MacAddr::from_index(index),
+            ip: IpAddr::from_index(index as u16),
+            dpid,
+            port,
+        });
+    }
+
+    /// Draws `attackers` distinct hosts by partial Fisher–Yates over host
+    /// indices, using a stream forked off `seed` so the draw is independent
+    /// of anything else derived from the same seed.
+    fn finish(mut self, seed: u64, attackers: usize) -> TopologySpec {
+        let n = self.spec.hosts.len();
+        assert!(
+            attackers <= n,
+            "{} attackers requested but topology has only {n} hosts",
+            attackers
+        );
+        let mut rng = StdRng::seed_from_u64(seed).stream(ATTACKER_STREAM);
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..attackers {
+            let j = rng.gen_range(i as u64..n as u64) as usize;
+            indices.swap(i, j);
+            self.spec.attackers.push(self.spec.hosts[indices[i]].id);
+        }
+        self.spec
+    }
+}
+
+fn build_fat_tree(b: &mut Builder, k: u16) {
+    assert!(
+        k >= 2 && k % 2 == 0,
+        "fat-tree k must be even and >= 2, got {k}"
+    );
+    let half = (k / 2) as usize;
+    // Creation order fixes the dpid layout: cores first, then per pod the
+    // aggregation switches followed by the edge switches.
+    let cores: Vec<DatapathId> = (0..half * half).map(|_| b.switch()).collect();
+    let mut edges_by_pod: Vec<Vec<DatapathId>> = Vec::with_capacity(k as usize);
+    for _pod in 0..k {
+        let aggs: Vec<DatapathId> = (0..half).map(|_| b.switch()).collect();
+        let edges: Vec<DatapathId> = (0..half).map(|_| b.switch()).collect();
+        // Aggregation switch i serves core group i: cores [i*k/2, (i+1)*k/2).
+        for (i, &agg) in aggs.iter().enumerate() {
+            for j in 0..half {
+                b.link(agg, cores[i * half + j]);
+            }
+        }
+        // Every edge switch connects to every aggregation switch in its pod.
+        for &edge in &edges {
+            for &agg in &aggs {
+                b.link(edge, agg);
+            }
+        }
+        edges_by_pod.push(edges);
+    }
+    for edges in &edges_by_pod {
+        for &edge in edges {
+            for _ in 0..half {
+                b.host(edge);
+            }
+        }
+    }
+}
+
+fn build_core_edge(b: &mut Builder, core: u16, edge: u16, hosts_per_edge: u16) {
+    assert!(core >= 1, "core-edge needs at least one core switch");
+    let cores: Vec<DatapathId> = (0..core).map(|_| b.switch()).collect();
+    let edges: Vec<DatapathId> = (0..edge).map(|_| b.switch()).collect();
+    for i in 0..cores.len() {
+        for j in i + 1..cores.len() {
+            b.link(cores[i], cores[j]);
+        }
+    }
+    for (e, &edge_sw) in edges.iter().enumerate() {
+        b.link(edge_sw, cores[e % cores.len()]);
+        if cores.len() > 1 {
+            b.link(edge_sw, cores[(e + 1) % cores.len()]);
+        }
+    }
+    for &edge_sw in &edges {
+        for _ in 0..hosts_per_edge {
+            b.host(edge_sw);
+        }
+    }
+}
+
+fn build_chain(b: &mut Builder, switches: u16, hosts_per_switch: u16, ring: bool) {
+    if ring {
+        assert!(switches >= 3, "ring needs >= 3 switches, got {switches}");
+    } else {
+        assert!(switches >= 1, "linear needs >= 1 switch");
+    }
+    let sws: Vec<DatapathId> = (0..switches).map(|_| b.switch()).collect();
+    for w in sws.windows(2) {
+        b.link(w[0], w[1]);
+    }
+    if ring {
+        b.link(sws[sws.len() - 1], sws[0]);
+    }
+    for &sw in &sws {
+        for _ in 0..hosts_per_switch {
+            b.host(sw);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Simulator;
+    use sdn_types::Duration;
+
+    #[test]
+    fn fat_tree_4_has_canonical_counts_and_radix() {
+        let topo = TopoKind::FatTree { k: 4 }.generate(1, 0);
+        assert_eq!(topo.switches.len(), 20);
+        assert_eq!(topo.hosts.len(), 16);
+        assert_eq!(topo.links.len(), 32); // 16 core-agg + 16 edge-agg
+        for (&dpid, &deg) in &topo.degrees() {
+            assert_eq!(deg, 4, "switch {dpid} should use exactly k ports");
+        }
+    }
+
+    #[test]
+    fn linear_chain_wiring_is_sequential() {
+        let topo = TopoKind::Linear {
+            switches: 3,
+            hosts_per_switch: 1,
+        }
+        .generate(9, 0);
+        assert_eq!(topo.links.len(), 2);
+        assert_eq!(topo.links[0].a, DatapathId::new(1));
+        assert_eq!(topo.links[0].b, DatapathId::new(2));
+        assert_eq!(topo.links[1].a, DatapathId::new(2));
+        assert_eq!(topo.links[1].b, DatapathId::new(3));
+        assert_eq!(topo.hosts[0].dpid, DatapathId::new(1));
+        assert_eq!(topo.hosts[2].dpid, DatapathId::new(3));
+    }
+
+    #[test]
+    fn ring_closes_the_loop() {
+        let topo = TopoKind::Ring {
+            switches: 4,
+            hosts_per_switch: 2,
+        }
+        .generate(9, 0);
+        assert_eq!(topo.links.len(), 4);
+        let last = topo.links[3];
+        assert_eq!(last.a, DatapathId::new(4));
+        assert_eq!(last.b, DatapathId::new(1));
+        for (_, deg) in topo.degrees() {
+            assert_eq!(deg, 2 + 2); // two ring neighbours + two hosts
+        }
+    }
+
+    #[test]
+    fn core_edge_is_dual_homed() {
+        let kind = TopoKind::CoreEdge {
+            core: 3,
+            edge: 5,
+            hosts_per_edge: 1,
+        };
+        let topo = kind.generate(2, 0);
+        assert_eq!(topo.switches.len(), 8);
+        // 3 core-mesh links + 2 uplinks per edge switch.
+        assert_eq!(topo.links.len(), 3 + 10);
+        let deg = topo.degrees();
+        for e in 3..8 {
+            assert_eq!(deg[&DatapathId::new(e as u64 + 1)], 3); // 2 uplinks + 1 host
+        }
+    }
+
+    #[test]
+    fn single_core_is_single_homed() {
+        let topo = TopoKind::CoreEdge {
+            core: 1,
+            edge: 4,
+            hosts_per_edge: 0,
+        }
+        .generate(2, 0);
+        assert_eq!(topo.links.len(), 4);
+        assert_eq!(topo.degrees()[&DatapathId::new(1)], 4);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let kinds = [
+            TopoKind::FatTree { k: 8 },
+            TopoKind::CoreEdge {
+                core: 4,
+                edge: 96,
+                hosts_per_edge: 1,
+            },
+            TopoKind::Linear {
+                switches: 4,
+                hosts_per_switch: 1,
+            },
+            TopoKind::Linear {
+                switches: 10,
+                hosts_per_switch: 3,
+            },
+            TopoKind::Ring {
+                switches: 8,
+                hosts_per_switch: 2,
+            },
+        ];
+        for kind in kinds {
+            assert_eq!(TopoKind::from_label(&kind.label()), Some(kind), "{kind}");
+        }
+        assert_eq!(
+            TopoKind::from_label("linear-4"),
+            Some(TopoKind::Linear {
+                switches: 4,
+                hosts_per_switch: 1
+            })
+        );
+        assert_eq!(TopoKind::from_label("mesh-4"), None);
+        assert_eq!(TopoKind::from_label("fat-tree-x"), None);
+        assert_eq!(TopoKind::from_label("core-edge-1x2"), None);
+    }
+
+    #[test]
+    fn attackers_are_distinct_hosts_of_the_fabric() {
+        let topo = TopoKind::FatTree { k: 4 }.generate(42, 5);
+        assert_eq!(topo.attackers.len(), 5);
+        let mut seen = topo.attackers.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 5, "attacker draw must not repeat hosts");
+        for a in &topo.attackers {
+            assert!(topo.hosts.iter().any(|h| h.id == *a));
+        }
+    }
+
+    #[test]
+    fn seed_changes_attackers_but_never_the_fabric() {
+        let a = TopoKind::FatTree { k: 4 }.generate(1, 2);
+        let b = TopoKind::FatTree { k: 4 }.generate(2, 2);
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.hosts, b.hosts);
+        assert_eq!(a, TopoKind::FatTree { k: 4 }.generate(1, 2));
+    }
+
+    #[test]
+    fn built_network_boots_under_the_simulator() {
+        let topo = TopoKind::Linear {
+            switches: 4,
+            hosts_per_switch: 1,
+        }
+        .generate(3, 1);
+        let spec = topo.build_network(
+            LinkProfile::fixed(Duration::from_micros(50)),
+            LinkProfile::fixed(Duration::from_millis(1)),
+        );
+        let mut sim = Simulator::new(spec, 11);
+        sim.run_for(Duration::from_millis(50));
+        assert_eq!(sim.now(), sdn_types::SimTime::from_millis(50));
+    }
+}

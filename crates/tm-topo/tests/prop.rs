@@ -1,0 +1,135 @@
+//! Property tests for the topology generators: structural invariants
+//! (counts, radix, connectivity) and the seeding contract (same seed ⇒
+//! identical spec; the attacker stream never touches the fabric).
+
+use sdn_types::DatapathId;
+use tm_prop::prelude::*;
+use tm_topo::{TopoKind, TopologySpec};
+
+/// Union-find connectivity over switches plus host attachments.
+fn is_connected(topo: &TopologySpec) -> bool {
+    let n = topo.switches.len() + topo.hosts.len();
+    if n == 0 {
+        return true;
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        parent[ra] = rb;
+    };
+    // Generated dpids are sequential from 1; hosts follow in declaration order.
+    let sw = |d: DatapathId| d.raw() as usize - 1;
+    for l in &topo.links {
+        union(&mut parent, sw(l.a), sw(l.b));
+    }
+    for (i, h) in topo.hosts.iter().enumerate() {
+        union(&mut parent, topo.switches.len() + i, sw(h.dpid));
+    }
+    let root = find(&mut parent, 0);
+    (1..n).all(|x| find(&mut parent, x) == root)
+}
+
+fn kind_strategy() -> impl Strategy<Value = TopoKind> {
+    prop_oneof![
+        (2u16..=8).prop_map(|half| TopoKind::FatTree { k: half * 2 }),
+        (1u16..6, 1u16..40, 0u16..4).prop_map(|(core, edge, hosts_per_edge)| {
+            TopoKind::CoreEdge {
+                core,
+                edge,
+                hosts_per_edge,
+            }
+        }),
+        (1u16..50, 0u16..4).prop_map(|(switches, hosts_per_switch)| TopoKind::Linear {
+            switches,
+            hosts_per_switch,
+        }),
+        (3u16..50, 0u16..4).prop_map(|(switches, hosts_per_switch)| TopoKind::Ring {
+            switches,
+            hosts_per_switch,
+        }),
+    ]
+}
+
+tm_prop! {
+    #![tm_config(cases = 64)]
+
+    #[test]
+    fn fat_tree_has_canonical_shape(half in 2u16..=8, seed in 0u64..1000) {
+        let k = half * 2;
+        let topo = TopoKind::FatTree { k }.generate(seed, 0);
+        let ku = k as usize;
+        assert_eq!(topo.switches.len(), 5 * ku * ku / 4, "5k²/4 switches");
+        assert_eq!(topo.hosts.len(), ku * ku * ku / 4, "k³/4 hosts");
+        // Every switch in a fat-tree uses exactly k ports.
+        for (dpid, deg) in topo.degrees() {
+            assert_eq!(deg, ku, "switch {dpid} of fat-tree-{k}");
+        }
+        assert!(is_connected(&topo));
+    }
+
+    #[test]
+    fn every_kind_is_connected_and_within_radix(kind in kind_strategy(), seed in 0u64..1000) {
+        let topo = kind.generate(seed, 0);
+        assert_eq!(topo.switches.len(), kind.switch_count());
+        assert_eq!(topo.hosts.len(), kind.host_count());
+        assert!(is_connected(&topo), "{kind} must be connected");
+        let radix = match kind {
+            TopoKind::FatTree { k } => k as usize,
+            // Core mesh + every edge's two uplinks can land on one core.
+            TopoKind::CoreEdge { core, edge, .. } =>
+                (core as usize - 1) + 2 * edge as usize,
+            TopoKind::Linear { hosts_per_switch, .. } => 2 + hosts_per_switch as usize,
+            TopoKind::Ring { hosts_per_switch, .. } => 2 + hosts_per_switch as usize,
+        };
+        for (dpid, deg) in topo.degrees() {
+            assert!(deg <= radix, "{kind}: switch {dpid} degree {deg} > {radix}");
+        }
+        // Port numbers stay physical and unique per switch.
+        let mut used = std::collections::BTreeSet::new();
+        for l in &topo.links {
+            assert!(l.port_a.is_physical() && l.port_b.is_physical());
+            assert!(used.insert((l.a, l.port_a)), "duplicate port {:?}", (l.a, l.port_a));
+            assert!(used.insert((l.b, l.port_b)), "duplicate port {:?}", (l.b, l.port_b));
+        }
+        for h in &topo.hosts {
+            assert!(used.insert((h.dpid, h.port)), "host port collides at {:?}", (h.dpid, h.port));
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_spec_exactly(kind in kind_strategy(), seed in 0u64..u64::MAX) {
+        let attackers = kind.host_count().min(3);
+        assert_eq!(kind.generate(seed, attackers), kind.generate(seed, attackers));
+    }
+
+    #[test]
+    fn attacker_stream_varies_placement_without_moving_the_fabric(
+        kind in kind_strategy(),
+        seed_a in 0u64..500,
+        seed_b in 500u64..1000,
+    ) {
+        let attackers = kind.host_count().min(2);
+        let a = kind.generate(seed_a, attackers);
+        let b = kind.generate(seed_b, attackers);
+        assert_eq!(a.switches, b.switches, "{kind}: fabric must be seed-independent");
+        assert_eq!(a.links, b.links, "{kind}");
+        assert_eq!(a.hosts, b.hosts, "{kind}");
+        // And the draw is well-formed: distinct, existing hosts.
+        for spec in [&a, &b] {
+            let mut ids: Vec<_> = spec.attackers.clone();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), spec.attackers.len(), "distinct attackers");
+            for id in &spec.attackers {
+                assert!(spec.hosts.iter().any(|h| h.id == *id));
+            }
+        }
+    }
+}

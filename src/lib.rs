@@ -21,6 +21,7 @@
 //! | [`ids`] | `tm-ids` | the Snort-style scan detector |
 //! | [`attacks`] | `attacks` | Port Amnesia, Port Probing, and friends |
 //! | [`scenarios`] | `tm-core` | testbeds, defense stacks, detection matrix |
+//! | [`topo`] | `tm-topo` | seeded fat-tree / core-edge / linear / ring generators |
 //! | [`telemetry`] | `tm-telemetry` | deterministic counters, gauges, histograms |
 //! | [`faults`] | `tm-faults` | declarative fault plans (loss, jitter, flaps, restarts) |
 //!
@@ -51,4 +52,5 @@ pub use tm_faults as faults;
 pub use tm_ids as ids;
 pub use tm_stats as stats;
 pub use tm_telemetry as telemetry;
+pub use tm_topo as topo;
 pub use topoguard;

@@ -1,0 +1,78 @@
+//! Workspace-level scheduler differential: every registered campaign
+//! scenario — the full reproduction pipeline of discovery, defenses,
+//! attacks, and fault injection — must render byte-identical campaign
+//! reports whether the engine runs on the timing wheel or the binary
+//! heap, at any worker count.
+//!
+//! The backend is selected via the process-wide override
+//! ([`netsim::set_global_sched_backend`]): campaign scenarios build their
+//! simulators internally, so the per-spec hook is out of reach here, and
+//! the override is exactly the knob CI uses to re-run the whole suite on
+//! the legacy heap. The test is single-threaded per campaign run (workers
+//! only parallelize whole runs, each of which reads the override once at
+//! spec-build time... the override stays fixed for the duration of each
+//! backend's sweep, so worker count cannot interleave backends).
+
+use bench::campaign::registry;
+use netsim::{set_global_sched_backend, SchedBackend};
+use tm_campaign::{run_campaign, CampaignSpec};
+
+/// One campaign render under a given backend and worker count.
+fn render(scenario: &str, backend: SchedBackend, workers: usize) -> String {
+    set_global_sched_backend(Some(backend));
+    let registry = registry();
+    let mut spec = CampaignSpec::new(scenario, 0xD5_2018);
+    spec.seeds = 2;
+    spec.workers = workers;
+    let report = run_campaign(&registry, &spec)
+        .unwrap_or_else(|e| panic!("campaign {scenario} failed: {e}"));
+    set_global_sched_backend(None);
+    report.render()
+}
+
+/// Runs the backend × worker-count square for one scenario and asserts all
+/// four renders agree.
+fn assert_backend_square(scenario: &str) {
+    let wheel_w1 = render(scenario, SchedBackend::Wheel, 1);
+    let wheel_w2 = render(scenario, SchedBackend::Wheel, 2);
+    let heap_w1 = render(scenario, SchedBackend::Heap, 1);
+    let heap_w2 = render(scenario, SchedBackend::Heap, 2);
+    assert_eq!(
+        wheel_w1, wheel_w2,
+        "{scenario}: wheel render differs across worker counts"
+    );
+    assert_eq!(
+        heap_w1, heap_w2,
+        "{scenario}: heap render differs across worker counts"
+    );
+    assert_eq!(
+        wheel_w1, heap_w1,
+        "{scenario}: wheel and heap campaign reports diverged"
+    );
+}
+
+/// Tier-1 slice: the two designated smoke scenarios, cheap enough for the
+/// debug-mode workspace test run.
+#[test]
+fn smoke_scenarios_are_backend_and_worker_identical() {
+    for scenario in ["probe-overhead", "ident-change"] {
+        assert_backend_square(scenario);
+    }
+}
+
+/// The full registry sweep — minutes of virtual time per scenario, so it
+/// is ignored under the debug tier-1 budget; ci.sh runs it in release via
+/// `cargo test --release --test sched_diff -- --ignored`.
+#[test]
+#[ignore = "full-registry sweep; run in release (see ci.sh)"]
+fn every_campaign_scenario_is_backend_and_worker_identical() {
+    let names: Vec<String> = registry()
+        .scenarios()
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    assert!(names.len() >= 9, "registry unexpectedly small: {names:?}");
+    for scenario in &names {
+        assert_backend_square(scenario);
+    }
+}
