@@ -33,6 +33,17 @@ cargo run -q --release --offline -p bench --bin experiments -- \
     >"$tmp/tm_campaign_w2.out" 2>"$tmp/tm_campaign_w2.err"
 diff "$tmp/tm_campaign_w1.out" "$tmp/tm_campaign_w2.out"
 
+# Topology-parameterized matrix smoke: one fat-tree hijack cell, offline,
+# single seed. Guards the whole fabric-elaboration path (generator → role
+# mapping → tree-scoped flooding → scenario) end to end; isolated-run
+# panics surface as failed= counts in the report, so the cell must report
+# failed=0 and nothing else.
+cargo run -q --release --offline -p bench --bin experiments -- \
+    matrix --topo fat-tree-4 --attacks port-probing-hijack --stacks none \
+    --seeds 1 --workers 1 >"$tmp/tm_topo_matrix.out" 2>/dev/null
+grep -q 'failed=0' "$tmp/tm_topo_matrix.out"
+! grep -q 'failed=[1-9]' "$tmp/tm_topo_matrix.out"
+
 # Perf trajectory: campaign wall-clock at both worker counts plus the
 # in-house bench medians. TM_BENCH_SAMPLES=3 keeps this a smoke run; the
 # artifact records the trajectory, it is not a rigorous benchmark.

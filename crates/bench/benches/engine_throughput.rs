@@ -9,7 +9,9 @@
 //!   for one simulated second per `(topology, backend)`;
 //! * `engine_throughput_eps/...` — the derived events-per-wall-second
 //!   figure (`events_processed` is deterministic per topology, so the
-//!   division is exact given the measured wall time).
+//!   division is exact given the measured wall time). Each record also
+//!   carries `sched_entry_bytes`, the per-entry size the queue backends
+//!   sift — the boxed-payload scheduler pins it at ≤32 bytes.
 //!
 //! The wheel-vs-heap comparison at every size is the acceptance gate for
 //! the scheduler swap; the differential suite proves equivalence, this
@@ -160,6 +162,11 @@ fn main() {
                 ("events_per_sim_sec", events.into()),
                 ("events_per_wall_sec", eps.into()),
                 ("best_ns", best_ns.into()),
+                // Bytes the heap/wheel sift actually moves per entry; the
+                // boxed-payload scheduler pins this at ≤32 so a payload
+                // regression shows up in the perf trajectory, not just in
+                // the unit test.
+                ("sched_entry_bytes", netsim::sched_entry_bytes().into()),
             ]);
             println!("BENCH_JSON {}", record.to_compact());
         }

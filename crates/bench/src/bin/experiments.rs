@@ -52,9 +52,133 @@ fn usage() -> ! {
               matrix matrix_extended fault_matrix scan_detection alert_flood downtime\n\
               ablations ablation_lli ablation_amnesia ablation_timeout metrics all\n\
               campaign <scenario|smoke|faults|list> [--seeds N] [--workers N] [--confidence P]\n\
-              scale [--seeds N] [--workers N]  (alias for `campaign scale`)"
+              scale [--seeds N] [--workers N]  (alias for `campaign scale`)\n\
+              matrix --topo <labels|families|default> [--attacks CSV] [--stacks CSV]\n\
+                     [--seeds N] [--workers N] [--confidence P]\n\
+                     (detection matrix on generated fabrics; families fat-tree, ring,\n\
+                      linear, core-edge expand to a small+large pair)"
     );
     std::process::exit(2);
+}
+
+/// Expands a `--topo` grid spec: comma-separated topology labels
+/// (`fat-tree-8`, `ring-4x2`, ...) or family names, each family expanding
+/// to its small+large default pair so one family still covers two sizes.
+/// `default` is the full two-kinds × two-sizes default grid.
+fn expand_topo_spec(spec: &str) -> Vec<String> {
+    spec.split(',')
+        .filter(|item| !item.is_empty())
+        .flat_map(|item| match item {
+            "default" => campaign::FABRIC_MATRIX_TOPOS.to_vec(),
+            "fat-tree" => vec!["fat-tree-4", "fat-tree-8"],
+            "ring" => vec!["ring-4x2", "ring-8x2"],
+            "linear" => vec!["linear-4x2", "linear-8x2"],
+            "core-edge" => vec!["core-edge-2x12x2", "core-edge-4x24x2"],
+            other => vec![other],
+        })
+        .map(String::from)
+        .collect()
+}
+
+/// `matrix --topo`: the detection matrix re-run on generated fabrics, as
+/// a multi-seed campaign. Same stdout/stderr split as [`campaign_cmd`]:
+/// the report and per-cell `BENCH_JSON` lines are deterministic and
+/// byte-identical at any `--workers` count; wall time goes to stderr.
+fn topo_matrix_cmd(args: &[String]) {
+    let common = CommonArgs::parse(
+        args,
+        &[
+            "--topo",
+            "--attacks",
+            "--stacks",
+            "--seeds",
+            "--workers",
+            "--confidence",
+        ],
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("matrix --topo: {e}");
+        usage()
+    });
+    let fail = |e: String| -> ! {
+        eprintln!("matrix --topo: {e}");
+        std::process::exit(2)
+    };
+    let topo_spec: String = common
+        .extra_parsed("--topo", "default".to_string())
+        .unwrap_or_else(|e| fail(e));
+    let attacks_spec: String = common
+        .extra_parsed(
+            "--attacks",
+            campaign::FABRIC_MATRIX_DEFAULT_ATTACKS.join(","),
+        )
+        .unwrap_or_else(|e| fail(e));
+    let stacks_spec: String = common
+        .extra_parsed("--stacks", campaign::FABRIC_MATRIX_STACKS.join(","))
+        .unwrap_or_else(|e| fail(e));
+    let seeds: usize = common
+        .extra_parsed("--seeds", 5)
+        .unwrap_or_else(|e| fail(e));
+    let workers: usize = common
+        .extra_parsed("--workers", 1)
+        .unwrap_or_else(|e| fail(e));
+    let confidence: f64 = common
+        .extra_parsed("--confidence", 0.95)
+        .unwrap_or_else(|e| fail(e));
+
+    let topos = expand_topo_spec(&topo_spec);
+    let attacks: Vec<String> = attacks_spec
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    let stacks: Vec<String> = stacks_spec
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    fn as_refs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+
+    let scenario =
+        campaign::fabric_matrix_scenario(&as_refs(&topos), &as_refs(&attacks), &as_refs(&stacks))
+            .unwrap_or_else(|e| fail(e));
+    let mut registry = tm_campaign::Registry::new();
+    registry.register(scenario).unwrap_or_else(|e| fail(e));
+
+    let mut spec = CampaignSpec::new("fabric-matrix", common.seed);
+    spec.seeds = seeds;
+    spec.workers = workers;
+    spec.confidence = confidence;
+    spec.quiet_panics = true;
+
+    // tm-lint: allow(wall-clock) -- campaign wall time is the perf-trajectory record; stderr only, never in the deterministic report
+    let start = std::time::Instant::now();
+    let report = run_campaign(&registry, &spec).unwrap_or_else(|e| fail(e));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    print!("{}", report.render());
+    for line in campaign::cell_bench_lines(&report) {
+        println!("{line}");
+    }
+    println!();
+
+    let wall = JsonValue::object(vec![
+        ("suite", "campaign-wall".into()),
+        ("bench", "fabric-matrix".into()),
+        ("workers", workers.into()),
+        ("runs", report.runs.len().into()),
+        ("failed", report.total_failures().into()),
+        ("wall_ms", wall_ms.into()),
+    ]);
+    eprintln!("BENCH_JSON {}", wall.to_compact());
+
+    if let Some(path) = &common.json {
+        let json = campaign::summary_json(&report).to_pretty();
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }
 
 /// The `campaign` subcommand: multi-seed parameter-grid campaigns over the
@@ -153,6 +277,12 @@ fn main() {
     let Some(id) = args.first() else { usage() };
     if id == "campaign" {
         campaign_cmd(&args[1..]);
+        return;
+    }
+    if id == "matrix" && args.iter().any(|a| a == "--topo") {
+        // Topology-parameterized variant: runs as a multi-seed campaign so
+        // verdicts come with ± CI and output is worker-count independent.
+        topo_matrix_cmd(&args[1..]);
         return;
     }
     if id == "scale" {

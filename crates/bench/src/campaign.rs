@@ -27,6 +27,44 @@ use crate::json::JsonValue;
 /// no full simulation): run in seconds even at several seeds per cell.
 pub const SMOKE_SCENARIOS: [&str; 2] = ["probe-overhead", "ident-change"];
 
+/// Default topology grid for the `fabric-matrix` campaign: two kinds at
+/// two sizes each, so a verdict flip between a small and a large fabric
+/// of the same kind is visible in one run.
+pub const FABRIC_MATRIX_TOPOS: [&str; 4] = ["fat-tree-4", "fat-tree-8", "ring-4x2", "ring-8x2"];
+
+/// The attack families every fabric-matrix cell may name.
+pub const FABRIC_MATRIX_ATTACKS: [&str; 5] = [
+    "naive-relay",
+    "oob-amnesia",
+    "oob-stealthy",
+    "in-band",
+    "port-probing-hijack",
+];
+
+/// Default attack grid for the `fabric-matrix` campaign (the paper's four
+/// matrix rows).
+pub const FABRIC_MATRIX_DEFAULT_ATTACKS: [&str; 4] = [
+    "naive-relay",
+    "oob-amnesia",
+    "in-band",
+    "port-probing-hijack",
+];
+
+/// Default defense-stack grid for the `fabric-matrix` campaign (the
+/// paper's five matrix columns).
+pub const FABRIC_MATRIX_STACKS: [&str; 5] =
+    ["none", "topoguard", "sphinx", "tg-sphinx", "topoguard-plus"];
+
+/// The defense-stack names [`parse_stack`] understands (campaign naming).
+const KNOWN_STACKS: [&str; 6] = [
+    "none",
+    "topoguard",
+    "sphinx",
+    "tg-sphinx",
+    "topoguard-plus",
+    "tg-plus-binding",
+];
+
 fn parse_stack(name: &str) -> DefenseStack {
     match name {
         "topoguard" => DefenseStack::TopoGuard,
@@ -74,6 +112,100 @@ fn robustness_metrics(outcome: &tm_core::RobustnessOutcome) -> Metrics {
             "fault_link_flaps",
             fault_counter(&outcome.metrics, "netsim.fault.link_flaps"),
         )
+}
+
+/// Builds the `fabric-matrix` scenario over explicit topology / attack /
+/// stack grids. Every label is validated up front so a typo fails the
+/// whole campaign loudly instead of silently degrading one cell to a
+/// default. The run closure is a pure function of `(grid point, seed)` —
+/// the fabric itself is a pure function of its parameters and actor
+/// placement comes from the spec's forked attacker stream — so campaign
+/// output is byte-identical at any `--workers` count.
+pub fn fabric_matrix_scenario(
+    topos: &[&str],
+    attacks: &[&str],
+    stacks: &[&str],
+) -> Result<Scenario, String> {
+    for label in topos {
+        if TopoKind::from_label(label).is_none() {
+            return Err(format!(
+                "unknown topology label `{label}` (examples: fat-tree-4, core-edge-2x12x2, linear-4x2, ring-4x2)"
+            ));
+        }
+    }
+    for attack in attacks {
+        if !FABRIC_MATRIX_ATTACKS.contains(attack) {
+            return Err(format!(
+                "unknown attack `{attack}` (known: {})",
+                FABRIC_MATRIX_ATTACKS.join(", ")
+            ));
+        }
+    }
+    for stack in stacks {
+        if !KNOWN_STACKS.contains(stack) {
+            return Err(format!(
+                "unknown defense stack `{stack}` (known: {})",
+                KNOWN_STACKS.join(", ")
+            ));
+        }
+    }
+    if topos.is_empty() || attacks.is_empty() || stacks.is_empty() {
+        return Err("fabric-matrix needs at least one topology, attack, and stack".to_string());
+    }
+    Ok(Scenario::new(
+        "fabric-matrix",
+        "Attack × defense detection matrix on generated fabrics (topology-parameterized §VII)",
+        vec![
+            Axis::new("topology", topos),
+            Axis::new("attack", attacks),
+            Axis::new("stack", stacks),
+        ],
+        fabric_matrix_cell,
+    ))
+}
+
+fn fabric_matrix_cell(point: &tm_campaign::GridPoint, seed: u64) -> Metrics {
+    let kind = point
+        .get("topology")
+        .and_then(TopoKind::from_label)
+        .unwrap_or(TopoKind::Linear {
+            switches: 4,
+            hosts_per_switch: 2,
+        });
+    let stack = parse_stack(point.get("stack").unwrap_or("none"));
+    match point.get("attack") {
+        Some("port-probing-hijack") => {
+            let outcome = hijack::run(&HijackScenario {
+                victim_rejoins: false, // measure the stealth window itself
+                ..HijackScenario::on_fabric(kind, stack, seed)
+            });
+            Metrics::new()
+                .with("succeeded", f64::from(u8::from(outcome.hijack_succeeded())))
+                .with(
+                    "detected",
+                    f64::from(u8::from(outcome.alerts_before_rejoin > 0)),
+                )
+                .with("alerts_total", outcome.alerts_total as f64)
+                .with(
+                    "client_pings_during_hijack",
+                    outcome.client_pings_during_hijack as f64,
+                )
+        }
+        attack => {
+            let mode = match attack {
+                Some("naive-relay") => RelayMode::NaiveNoAmnesia,
+                Some("oob-stealthy") => RelayMode::OutOfBandStealthy,
+                Some("in-band") => RelayMode::InBand,
+                _ => RelayMode::OutOfBand,
+            };
+            let outcome = linkfab::run(&LinkFabScenario::on_fabric(mode, kind, stack, seed));
+            Metrics::new()
+                .with("succeeded", f64::from(u8::from(outcome.link_established)))
+                .with("detected", f64::from(u8::from(outcome.detected())))
+                .with("alerts_total", outcome.alerts_total as f64)
+                .with("benign_pings_ok", outcome.benign_pings_ok as f64)
+        }
+    }
 }
 
 /// The full campaign registry over the workspace's scenarios.
@@ -345,6 +477,17 @@ pub fn registry() -> Registry {
         },
     ));
 
+    match fabric_matrix_scenario(
+        &FABRIC_MATRIX_TOPOS,
+        &FABRIC_MATRIX_DEFAULT_ATTACKS,
+        &FABRIC_MATRIX_STACKS,
+    ) {
+        Ok(s) => add(s),
+        // The default grids above are compile-time constants drawn from
+        // the validated vocabularies; a failure here is a bug in this file.
+        Err(e) => unreachable!("fabric-matrix default grid: {e}"),
+    }
+
     r
 }
 
@@ -458,6 +601,7 @@ mod tests {
             "cmm-under-flaps",
             "discovery-under-loss",
             "scale",
+            "fabric-matrix",
         ] {
             assert!(r.get(name).is_some(), "missing scenario {name}");
         }
@@ -514,6 +658,49 @@ mod tests {
             "{}",
             serial.render()
         );
+    }
+
+    #[test]
+    fn fabric_matrix_rejects_bad_labels_up_front() {
+        assert!(fabric_matrix_scenario(&["mesh-4"], &["in-band"], &["none"]).is_err());
+        assert!(fabric_matrix_scenario(&["ring-4x2"], &["ddos"], &["none"]).is_err());
+        assert!(fabric_matrix_scenario(&["ring-4x2"], &["in-band"], &["kitchen-sink"]).is_err());
+        assert!(fabric_matrix_scenario(&[], &["in-band"], &["none"]).is_err());
+        assert!(fabric_matrix_scenario(
+            &FABRIC_MATRIX_TOPOS,
+            &FABRIC_MATRIX_DEFAULT_ATTACKS,
+            &FABRIC_MATRIX_STACKS
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn fabric_matrix_is_worker_count_independent() {
+        // Cheapest fabric cells (hijack runs are ~13 s virtual; the ring
+        // and linear fabrics are tiny). The full default grid runs via
+        // `experiments matrix --topo`; this guards the adapter plumbing.
+        let mut r = Registry::new();
+        r.register(
+            fabric_matrix_scenario(
+                &["ring-4x2", "linear-4x2"],
+                &["port-probing-hijack"],
+                &["none"],
+            )
+            .expect("grid"),
+        )
+        .expect("register");
+        let mut spec = CampaignSpec::new("fabric-matrix", 0xFAB);
+        spec.seeds = 2;
+        let serial = run_campaign(&r, &spec).expect("workers=1");
+        spec.workers = 2;
+        let pooled = run_campaign(&r, &spec).expect("workers=2");
+        assert_eq!(
+            serial.render(),
+            pooled.render(),
+            "fabric-matrix output must not depend on worker count"
+        );
+        assert_eq!(cell_bench_lines(&serial), cell_bench_lines(&pooled));
+        assert!(serial.render().contains("succeeded"), "{}", serial.render());
     }
 
     #[test]

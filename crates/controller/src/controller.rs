@@ -55,6 +55,12 @@ pub struct ControllerConfig {
     /// infrastructure, and naive learning would register phantom host
     /// migrations along the flood path.
     pub host_learning_after: Duration,
+    /// Scope dataplane floods to a spanning tree of the discovered topology
+    /// instead of the switch-native `FLOOD` action. Required on fabrics
+    /// with physical cycles (fat-tree, ring, multi-core core–edge), where a
+    /// per-switch re-flood would otherwise storm; off by default so the
+    /// loop-free paper testbeds keep their original traces.
+    pub tree_scoped_flood: bool,
 }
 
 impl Default for ControllerConfig {
@@ -69,6 +75,7 @@ impl Default for ControllerConfig {
             stats_interval: None,
             first_discovery_delay: Duration::from_millis(100),
             host_learning_after: Duration::from_millis(300),
+            tree_scoped_flood: false,
         }
     }
 }
@@ -205,6 +212,28 @@ impl SdnController {
             ctx.send(dpid, msg);
         }
         verdict
+    }
+
+    /// The ports on `dpid` a scoped flood may use: every up physical port
+    /// that is either host-facing (not on any discovered link) or a trunk on
+    /// the spanning tree of the discovered topology. Ascending port order,
+    /// so flood fan-out is deterministic.
+    fn tree_flood_ports(&self, dpid: DatapathId) -> Vec<PortNo> {
+        let tree = self.topology.spanning_tree();
+        self.switch_ports
+            .get(&dpid)
+            .map(|ports| {
+                ports
+                    .iter()
+                    .filter(|p| p.port_no.is_physical() && p.is_up())
+                    .map(|p| p.port_no)
+                    .filter(|port| {
+                        let sp = SwitchPort::new(dpid, *port);
+                        !self.topology.is_infrastructure_port(sp) || tree.contains(&sp)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     fn emit_lldp_round(&mut self, ctx: &mut ControllerCtx<'_>) {
@@ -394,8 +423,19 @@ impl SdnController {
 
         // Reactive forwarding.
         if self.config.forwarding {
-            let (msgs, _flooded) =
-                forwarding::handle_table_miss(&self.topology, &self.devices, dpid, in_port, frame);
+            let scope = if self.config.tree_scoped_flood {
+                Some(self.tree_flood_ports(dpid))
+            } else {
+                None
+            };
+            let (msgs, _flooded) = forwarding::handle_table_miss(
+                &self.topology,
+                &self.devices,
+                dpid,
+                in_port,
+                frame,
+                scope.as_deref(),
+            );
             for (target, msg) in msgs {
                 if matches!(msg, OfMessage::FlowMod { .. }) {
                     self.module_pass(ctx, |m, cx| {

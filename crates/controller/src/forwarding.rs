@@ -24,12 +24,20 @@ pub const RULE_PRIORITY: u16 = 100;
 ///
 /// Returns `(messages, flooded)`: the FlowMods/PacketOuts to send, and
 /// whether the packet was flooded rather than path-routed.
+///
+/// `flood_scope` restricts flooding to an explicit port list instead of the
+/// switch's `FLOOD` action. On loop-free testbeds it is `None` and floods
+/// use plain `Output(FLOOD)`; on fabrics with cycles the controller passes
+/// the switch's spanning-tree flood ports (tree trunks plus host-facing
+/// ports) so a broadcast traverses each switch exactly once instead of
+/// storming.
 pub fn handle_table_miss(
     topology: &Topology,
     devices: &DeviceTable,
     dpid: DatapathId,
     in_port: PortNo,
     frame: &EthernetFrame,
+    flood_scope: Option<&[PortNo]>,
 ) -> (Vec<(DatapathId, OfMessage)>, bool) {
     let data = frame.encode().to_vec();
 
@@ -45,7 +53,7 @@ pub fn handle_table_miss(
                 dpid,
                 OfMessage::PacketOut {
                     in_port,
-                    actions: vec![Action::Output(PortNo::FLOOD)],
+                    actions: flood_actions(in_port, flood_scope),
                     data,
                 },
             )],
@@ -61,7 +69,7 @@ pub fn handle_table_miss(
                 dpid,
                 OfMessage::PacketOut {
                     in_port,
-                    actions: vec![Action::Output(PortNo::FLOOD)],
+                    actions: flood_actions(in_port, flood_scope),
                     data,
                 },
             )],
@@ -93,6 +101,19 @@ pub fn handle_table_miss(
         },
     ));
     (msgs, false)
+}
+
+/// The flood action list: the switch-native `FLOOD` port when unscoped, or
+/// one explicit `Output` per scoped port (ascending, `in_port` excluded).
+fn flood_actions(in_port: PortNo, flood_scope: Option<&[PortNo]>) -> Vec<Action> {
+    match flood_scope {
+        None => vec![Action::Output(PortNo::FLOOD)],
+        Some(ports) => ports
+            .iter()
+            .filter(|p| **p != in_port)
+            .map(|p| Action::Output(*p))
+            .collect(),
+    }
 }
 
 fn flow_mod(flow_match: FlowMatch, out: PortNo) -> OfMessage {
@@ -161,6 +182,7 @@ mod tests {
             DatapathId::new(1),
             PortNo::new(1),
             &frame(1, MacAddr::BROADCAST),
+            None,
         );
         assert!(flooded);
         assert_eq!(msgs.len(), 1);
@@ -177,6 +199,7 @@ mod tests {
             DatapathId::new(1),
             PortNo::new(1),
             &frame(1, MacAddr::from_index(99)),
+            None,
         );
         assert!(flooded);
     }
@@ -190,6 +213,7 @@ mod tests {
             DatapathId::new(1),
             PortNo::new(1),
             &frame(1, MacAddr::from_index(2)),
+            None,
         );
         assert!(!flooded);
         // Rules: egress at sw3 + transit at sw1, sw2; then one PacketOut.
@@ -227,6 +251,7 @@ mod tests {
             DatapathId::new(1),
             PortNo::new(1),
             &frame(1, MacAddr::from_index(3)),
+            None,
         );
         assert!(!flooded);
         if let Some((_, OfMessage::PacketOut { actions, .. })) = msgs.last() {
@@ -247,7 +272,35 @@ mod tests {
             DatapathId::new(1),
             PortNo::new(1),
             &frame(1, MacAddr::from_index(2)),
+            None,
         );
         assert!(flooded);
+    }
+
+    #[test]
+    fn scoped_flood_outputs_explicit_ports_minus_ingress() {
+        let (t, d) = line_topology();
+        let scope = vec![PortNo::new(1), PortNo::new(2), PortNo::new(3)];
+        let (msgs, flooded) = handle_table_miss(
+            &t,
+            &d,
+            DatapathId::new(1),
+            PortNo::new(1),
+            &frame(1, MacAddr::BROADCAST),
+            Some(&scope),
+        );
+        assert!(flooded);
+        assert_eq!(msgs.len(), 1);
+        if let OfMessage::PacketOut { actions, .. } = &msgs[0].1 {
+            assert_eq!(
+                actions,
+                &vec![
+                    Action::Output(PortNo::new(2)),
+                    Action::Output(PortNo::new(3)),
+                ]
+            );
+        } else {
+            panic!("expected a PacketOut");
+        }
     }
 }

@@ -179,6 +179,46 @@ impl Topology {
         let path = self.shortest_path(dpid, to)?;
         path.first().map(|l| l.src.port)
     }
+
+    /// The set of switch ports on a deterministic BFS spanning tree of the
+    /// switch graph (one tree per connected component, rooted at the
+    /// component's smallest dpid, neighbors explored in link order).
+    ///
+    /// Flooding scoped to these trunk ports — plus any port not on a known
+    /// link — delivers a broadcast to every switch exactly once even when
+    /// the physical fabric has cycles (fat-tree, ring), which is how real
+    /// controllers avoid broadcast storms without STP on the switches.
+    pub fn spanning_tree(&self) -> BTreeSet<SwitchPort> {
+        // Undirected adjacency: dpid -> links out of it (either direction).
+        let mut adj: BTreeMap<DatapathId, Vec<DirectedLink>> = BTreeMap::new();
+        for link in self.links.keys() {
+            adj.entry(link.src.dpid).or_default().push(*link);
+            adj.entry(link.dst.dpid).or_default().push(link.reversed());
+        }
+        let mut tree: BTreeSet<SwitchPort> = BTreeSet::new();
+        let mut visited: BTreeSet<DatapathId> = BTreeSet::new();
+        let roots: Vec<DatapathId> = adj.keys().copied().collect();
+        for root in roots {
+            if visited.contains(&root) {
+                continue;
+            }
+            visited.insert(root);
+            let mut queue = VecDeque::new();
+            queue.push_back(root);
+            while let Some(node) = queue.pop_front() {
+                if let Some(out) = adj.get(&node) {
+                    for link in out {
+                        if visited.insert(link.dst.dpid) {
+                            tree.insert(link.src);
+                            tree.insert(link.dst);
+                            queue.push_back(link.dst.dpid);
+                        }
+                    }
+                }
+            }
+        }
+        tree
+    }
 }
 
 #[cfg(test)]
@@ -293,5 +333,40 @@ mod tests {
         assert!(t.remove(&link((1, 2), (2, 1))));
         assert!(!t.contains(&link((1, 2), (2, 1))));
         assert!(t.contains(&link((2, 1), (1, 2))));
+    }
+
+    #[test]
+    fn spanning_tree_breaks_the_ring() {
+        // 4-switch ring: 1-2-3-4-1, both directions on every trunk.
+        let mut t = Topology::new();
+        let now = SimTime::ZERO;
+        for (a, b) in [
+            ((1, 2), (2, 1)),
+            ((2, 2), (3, 1)),
+            ((3, 2), (4, 1)),
+            ((4, 2), (1, 1)),
+        ] {
+            t.observe(link(a, b), now, None);
+            t.observe(link(b, a), now, None);
+        }
+        let tree = t.spanning_tree();
+        // A spanning tree of 4 nodes has 3 edges = 6 trunk ports; exactly
+        // one ring segment (2 ports) is excluded.
+        assert_eq!(tree.len(), 6, "{tree:?}");
+        // Every switch is on the tree.
+        let dpids: BTreeSet<u64> = tree.iter().map(|p| p.dpid.raw()).collect();
+        assert_eq!(dpids, BTreeSet::from([1, 2, 3, 4]));
+        // Deterministic: recomputing yields the same tree.
+        assert_eq!(t.spanning_tree(), tree);
+    }
+
+    #[test]
+    fn spanning_tree_of_a_line_keeps_every_trunk() {
+        let t = line();
+        let tree = t.spanning_tree();
+        assert_eq!(
+            tree,
+            BTreeSet::from([sp(1, 2), sp(2, 1), sp(2, 2), sp(3, 1)])
+        );
     }
 }

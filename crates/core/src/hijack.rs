@@ -22,6 +22,7 @@ use netsim::Simulator;
 use sdn_types::{Duration, SimTime};
 
 use crate::defense::DefenseStack;
+use crate::fabric;
 use crate::robustness::{FaultProfile, ProfileTargets};
 use crate::testbed;
 
@@ -45,6 +46,10 @@ pub struct HijackScenario {
     /// Network degradation active for the whole run ([`FaultProfile::Clean`]
     /// leaves the trace byte-identical to the pre-fault-layer simulator).
     pub faults: FaultProfile,
+    /// Run on a generated fabric instead of the hand-built two-switch
+    /// testbed. Role placement comes from the spec's forked attacker
+    /// stream (see [`fabric::hijack_setup`]).
+    pub fabric: Option<tm_topo::TopoKind>,
 }
 
 impl HijackScenario {
@@ -58,6 +63,19 @@ impl HijackScenario {
             victim_rejoins: true,
             tail: Duration::from_secs(5),
             faults: FaultProfile::Clean,
+            fabric: None,
+        }
+    }
+
+    /// The same attack on a generated fabric. Host traffic holds until
+    /// [`fabric::TRAFFIC_START`] (broadcast safety on loopy fabrics), so
+    /// the victim drops later (t = 6 s) — still ≈80 probe periods of
+    /// baseline for the attacker.
+    pub fn on_fabric(kind: tm_topo::TopoKind, stack: DefenseStack, seed: u64) -> Self {
+        HijackScenario {
+            victim_down_at: SimTime::from_secs(6),
+            fabric: Some(kind),
+            ..HijackScenario::new(stack, seed)
         }
     }
 }
@@ -150,15 +168,34 @@ impl HijackOutcome {
 
 /// Runs the scenario.
 pub fn run(scenario: &HijackScenario) -> HijackOutcome {
-    let (mut spec, ids) = testbed::hijack_spec(scenario.stack, ControllerConfig::default());
-    let probing = ProbingConfig::paper_default(ids.victim_ip, ids.client_ip);
+    let (mut spec, ids, targets, traffic_start) = match scenario.fabric {
+        None => {
+            let (spec, ids) = testbed::hijack_spec(scenario.stack, ControllerConfig::default());
+            (spec, ids, ProfileTargets::hijack(), Duration::ZERO)
+        }
+        Some(kind) => {
+            let (spec, ids, targets) = fabric::hijack_setup(
+                kind,
+                scenario.stack,
+                scenario.seed,
+                ControllerConfig::default(),
+            );
+            (spec, ids, targets, fabric::TRAFFIC_START)
+        }
+    };
+    let base_probing = ProbingConfig::paper_default(ids.victim_ip, ids.client_ip);
+    let probing = ProbingConfig {
+        start_delay: base_probing.start_delay.max(traffic_start),
+        ..base_probing
+    };
     spec.set_host_app(ids.attacker, Box::new(PortProbingAttacker::new(probing)));
     // The benign client keeps a session toward the victim.
     spec.set_host_app(
         ids.client,
-        Box::new(PeriodicPinger::new(
+        Box::new(PeriodicPinger::starting_at(
             ids.victim_ip,
             Duration::from_millis(250),
+            traffic_start,
         )),
     );
     // The migration-destination NIC needs an app slot so the scenario can
@@ -167,9 +204,7 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
     spec.set_telemetry(tm_telemetry::Telemetry::new());
 
     let run_end = scenario.victim_down_at + scenario.downtime + scenario.tail;
-    let plan = scenario
-        .faults
-        .plan(&ProfileTargets::hijack(), SimTime::ZERO, run_end);
+    let plan = scenario.faults.plan(&targets, SimTime::ZERO, run_end);
     let mut sim = Simulator::with_fault_plan(spec, scenario.seed, plan);
     // The migration-destination NIC starts down.
     sim.host_iface_down(ids.victim_new);

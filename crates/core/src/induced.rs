@@ -119,6 +119,10 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
             break;
         }
     }
+    let client_pings_at_hijack = sim
+        .host_app_as::<PeriodicPinger>(ids.client)
+        .map(|p| p.received)
+        .unwrap_or(0);
     sim.run_until(rejoin_at);
     let alerts_before_rejoin = sim
         .controller_as::<SdnController>()
@@ -126,6 +130,10 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
         .expect("controller")
         .alerts()
         .len();
+    let client_pings_at_rejoin = sim
+        .host_app_as::<PeriodicPinger>(ids.client)
+        .map(|p| p.received)
+        .unwrap_or(0);
 
     // The hypervisor completes the migration at the destination.
     sim.host_schedule_iface_up(ids.victim_new, Duration::from_millis(1), None);
@@ -154,7 +162,8 @@ pub fn run(scenario: &InducedMigrationScenario) -> InducedOutcome {
                 + ctrl
                     .alerts()
                     .count(controller::AlertKind::HostMigrationPostcondition),
-            client_pings_during_hijack: 0,
+            client_pings_during_hijack: client_pings_at_rejoin
+                .saturating_sub(client_pings_at_hijack),
             trace: sim.trace().records().to_vec(),
             metrics: sim.metrics_snapshot(),
         },
@@ -176,6 +185,23 @@ mod tests {
         // The attacker reacted within the induced window.
         let ack = out.hijack.controller_ack_delay_ms().unwrap();
         assert!(ack < 1000.0, "ack {ack} ms");
+    }
+
+    #[test]
+    fn client_pings_during_induced_window_are_measured() {
+        // Regression: this field was hard-coded to 0. The client pings
+        // every 250 ms and the induced downtime window is 2 s, so once the
+        // attacker assumes the victim's identity it answers a nonzero
+        // number of the client's pings before the rejoin.
+        let out = run(&InducedMigrationScenario::new(
+            DefenseStack::TopoGuardSphinx,
+            11,
+        ));
+        assert!(out.hijack.hijack_succeeded(), "{out:?}");
+        assert!(
+            out.hijack.client_pings_during_hijack > 0,
+            "expected captured client pings during the induced window, got 0"
+        );
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   out-of-band, in-band, and a naive no-amnesia baseline).
 //! * [`hijack`] — the Port Probing / host-location-hijacking scenario with
 //!   the full Fig. 3 timeline instrumentation.
-//! * [`matrix`] — the headline attack × defense detection matrix.
+//! * [`fabric`] — topology-parameterized elaboration: runs the same
+//!   scenarios on generated fat-tree / core–edge / linear / ring fabrics
+//!   (`tm-topo`), with attacker placement drawn from the spec's forked
+//!   stream.
+//! * [`matrix`] — the headline attack × defense detection matrix, on the
+//!   paper testbeds or any generated fabric.
 //! * [`robustness`] — fault profiles (trunk loss, jitter, flaps, control
 //!   congestion, switch restarts) and benign-traffic false-positive
 //!   scenarios; every scenario in this crate can run under a profile, and
@@ -23,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod defense;
+pub mod fabric;
 pub mod floodsc;
 pub mod hijack;
 pub mod induced;
@@ -33,9 +39,10 @@ pub mod scale;
 pub mod testbed;
 
 pub use defense::DefenseStack;
+pub use fabric::RelayEndpoints;
 pub use floodsc::{FloodOutcome, FloodScenario};
 pub use hijack::{HijackOutcome, HijackScenario};
-pub use linkfab::{LinkFabOutcome, LinkFabScenario, RelayMode};
-pub use matrix::{run_matrix, run_matrix_under, MatrixEntry};
+pub use linkfab::{FabTopology, LinkFabOutcome, LinkFabScenario, RelayMode};
+pub use matrix::{run_matrix, run_matrix_on, run_matrix_under, MatrixEntry};
 pub use robustness::{FaultProfile, ProfileTargets, RobustnessOutcome, RobustnessScenario};
 pub use scale::{ScaleOutcome, ScaleScenario};

@@ -1,7 +1,7 @@
 //! Link-fabrication scenarios: Port Amnesia in all its variants (§IV-A,
 //! §V-A), run against a selectable defense stack.
 //!
-//! Two topologies are available:
+//! Three topology families are available:
 //!
 //! * [`FabTopology::Fig1`] — the paper's attack illustration: two switches
 //!   joined *only* by the fabricated link, demonstrating a working
@@ -9,14 +9,18 @@
 //! * [`FabTopology::Fig9`] — the paper's evaluation testbed: four switches
 //!   with real 5 ms links (the LLI's latency baseline), attack launched one
 //!   minute after bootstrap as in §VII-A.
+//! * [`FabTopology::Fabric`] — any generated fabric (`tm-topo`): the same
+//!   attack with colluders placed by the spec's forked attacker stream.
 
 use attacks::{InBandRelayAttacker, OobRelayAttacker, RelayConfig, RelayStats};
 use controller::{AlertKind, ControllerConfig, ControllerProfile, DirectedLink, SdnController};
 use netsim::apps::PeriodicPinger;
-use netsim::Simulator;
+use netsim::{NetworkSpec, Simulator};
 use sdn_types::{Duration, SimTime};
+use tm_topo::TopoKind;
 
 use crate::defense::DefenseStack;
+use crate::fabric::{self, RelayEndpoints};
 use crate::robustness::{FaultProfile, ProfileTargets};
 use crate::testbed;
 
@@ -56,6 +60,8 @@ pub enum FabTopology {
     Fig1,
     /// The four-switch evaluation testbed with real links.
     Fig9,
+    /// A generated fabric (fat-tree / core–edge / linear / ring).
+    Fabric(TopoKind),
 }
 
 /// Scenario parameters.
@@ -117,6 +123,16 @@ impl LinkFabScenario {
             faults: FaultProfile::Clean,
         }
     }
+
+    /// The [`paper_eval`](LinkFabScenario::paper_eval) timing on a
+    /// generated fabric: colluders drawn from the spec's attacker stream,
+    /// attack one minute after bootstrap so defense baselines have formed.
+    pub fn on_fabric(mode: RelayMode, kind: TopoKind, stack: DefenseStack, seed: u64) -> Self {
+        LinkFabScenario {
+            topology: FabTopology::Fabric(kind),
+            ..LinkFabScenario::paper_eval(mode, stack, seed)
+        }
+    }
 }
 
 /// Scenario outcome.
@@ -168,13 +184,163 @@ impl LinkFabOutcome {
 
 /// Runs the scenario.
 pub fn run(scenario: &LinkFabScenario) -> LinkFabOutcome {
-    if scenario.mode == RelayMode::InBand {
-        return run_in_band(scenario);
+    // The in-band relay needs real dataplane connectivity between the
+    // colluders, which Fig. 1 lacks by construction: coerce it to Fig. 9.
+    // Generated fabrics have real trunks, so they run in-band as-is.
+    let topology = match (scenario.mode, scenario.topology) {
+        (RelayMode::InBand, FabTopology::Fig1 | FabTopology::Fig9) => FabTopology::Fig9,
+        (_, t) => t,
+    };
+    match topology {
+        FabTopology::Fig1 => {
+            let (spec, ids) = testbed::fig1_spec(scenario.stack, scenario_config(scenario));
+            let endpoints = RelayEndpoints {
+                attacker_a: ids.attacker_a,
+                attacker_b: ids.attacker_b,
+                port_a: ids.port_a,
+                port_b: ids.port_b,
+                identity_a: None,
+                identity_b: None,
+                pinger: Some((ids.h1, ids.h2_ip)),
+                // The fabricated link is the sole inter-switch path:
+                // bridging dataplane frames across it is loop-free (and is
+                // the MITM demonstration itself).
+                bridge_dataplane: true,
+                traffic_start: Duration::ZERO,
+            };
+            run_relay(scenario, spec, endpoints, &ProfileTargets::fig1())
+        }
+        FabTopology::Fig9 => {
+            let (spec, ids) = testbed::fig9_spec(scenario.stack, scenario_config(scenario));
+            let endpoints = RelayEndpoints {
+                attacker_a: ids.attacker_a,
+                attacker_b: ids.attacker_b,
+                port_a: ids.port_a,
+                port_b: ids.port_b,
+                identity_a: Some((ids.attacker_a_mac, ids.attacker_a_ip)),
+                identity_b: Some((ids.attacker_b_mac, ids.attacker_b_ip)),
+                pinger: Some((ids.h1, ids.h2_ip)),
+                // On the Fig. 9 testbed the fabricated link closes a loop
+                // with the real trunk links; bridging broadcasts across it
+                // would start a classic broadcast storm (there is no
+                // spanning tree). The paper's evaluation relays LLDP only
+                // here — the MITM bridge demo lives on Fig. 1, where the
+                // fabricated link is the sole path.
+                bridge_dataplane: false,
+                traffic_start: Duration::ZERO,
+            };
+            run_relay(scenario, spec, endpoints, &ProfileTargets::fig9())
+        }
+        FabTopology::Fabric(kind) => {
+            let (spec, endpoints, targets) = fabric::relay_setup(
+                kind,
+                scenario.stack,
+                scenario.seed,
+                scenario_config(scenario),
+            );
+            run_relay(scenario, spec, endpoints, &targets)
+        }
     }
-    match scenario.topology {
-        FabTopology::Fig1 => run_oob_fig1(scenario),
-        FabTopology::Fig9 => run_oob_fig9(scenario),
+}
+
+/// The single relay driver: installs the relay apps described by
+/// `endpoints`, runs the scenario, and collects the outcome. All three
+/// topology families funnel through here, so scenario mechanics can never
+/// drift between the hand-built testbeds and generated fabrics.
+fn run_relay(
+    scenario: &LinkFabScenario,
+    mut spec: NetworkSpec,
+    endpoints: RelayEndpoints,
+    targets: &ProfileTargets,
+) -> LinkFabOutcome {
+    let in_band = scenario.mode == RelayMode::InBand;
+    if in_band {
+        // tm-lint: allow(unwrap-in-lib) -- every topology that reaches the in-band path (Fig. 9, fabrics) publishes colluder identities; Fig. 1 is coerced away in run()
+        let (a_mac, a_ip) = endpoints.identity_a.expect("in-band needs A's identity");
+        // tm-lint: allow(unwrap-in-lib) -- same contract as identity_a
+        let (b_mac, b_ip) = endpoints.identity_b.expect("in-band needs B's identity");
+        let cfg_a = RelayConfig {
+            start_after: scenario.attack_start,
+            ..RelayConfig::in_band(endpoints.attacker_b, b_mac, b_ip)
+        };
+        let cfg_b = RelayConfig {
+            start_after: scenario.attack_start,
+            ..RelayConfig::in_band(endpoints.attacker_a, a_mac, a_ip)
+        };
+        spec.set_host_app(
+            endpoints.attacker_a,
+            Box::new(InBandRelayAttacker::new(cfg_a)),
+        );
+        spec.set_host_app(
+            endpoints.attacker_b,
+            Box::new(InBandRelayAttacker::new(cfg_b)),
+        );
+    } else {
+        let mk = |peer| {
+            let base = oob_relay_config(scenario, peer);
+            if endpoints.bridge_dataplane {
+                base
+            } else {
+                RelayConfig {
+                    bridge_dataplane: false,
+                    ..base
+                }
+            }
+        };
+        spec.set_host_app(
+            endpoints.attacker_a,
+            Box::new(OobRelayAttacker::new(mk(endpoints.attacker_b))),
+        );
+        spec.set_host_app(
+            endpoints.attacker_b,
+            Box::new(OobRelayAttacker::new(mk(endpoints.attacker_a))),
+        );
     }
+    if scenario.benign_traffic {
+        if let Some((host, target_ip)) = endpoints.pinger {
+            spec.set_host_app(
+                host,
+                Box::new(PeriodicPinger::starting_at(
+                    target_ip,
+                    Duration::from_millis(500),
+                    endpoints.traffic_start,
+                )),
+            );
+        }
+    }
+    spec.set_telemetry(tm_telemetry::Telemetry::new());
+    let mut sim = build_sim(spec, scenario, targets);
+    sim.run_for(scenario.run_for);
+    let (stats_a, stats_b) = if in_band {
+        (
+            sim.host_app_as::<InBandRelayAttacker>(endpoints.attacker_a)
+                .map(|a| a.stats)
+                .unwrap_or_default(),
+            sim.host_app_as::<InBandRelayAttacker>(endpoints.attacker_b)
+                .map(|a| a.stats)
+                .unwrap_or_default(),
+        )
+    } else {
+        (
+            sim.host_app_as::<OobRelayAttacker>(endpoints.attacker_a)
+                .map(|a| a.stats)
+                .unwrap_or_default(),
+            sim.host_app_as::<OobRelayAttacker>(endpoints.attacker_b)
+                .map(|a| a.stats)
+                .unwrap_or_default(),
+        )
+    };
+    collect_outcome(
+        &sim,
+        endpoints.port_a,
+        endpoints.port_b,
+        endpoints
+            .pinger
+            .filter(|_| scenario.benign_traffic)
+            .map(|(host, _)| host),
+        stats_a,
+        stats_b,
+    )
 }
 
 fn build_sim(
@@ -243,132 +409,4 @@ fn collect_outcome(
         trace: sim.trace().records().to_vec(),
         metrics: sim.metrics_snapshot(),
     }
-}
-
-fn run_oob_fig1(scenario: &LinkFabScenario) -> LinkFabOutcome {
-    let (mut spec, ids) = testbed::fig1_spec(scenario.stack, scenario_config(scenario));
-    spec.set_host_app(
-        ids.attacker_a,
-        Box::new(OobRelayAttacker::new(oob_relay_config(
-            scenario,
-            ids.attacker_b,
-        ))),
-    );
-    spec.set_host_app(
-        ids.attacker_b,
-        Box::new(OobRelayAttacker::new(oob_relay_config(
-            scenario,
-            ids.attacker_a,
-        ))),
-    );
-    if scenario.benign_traffic {
-        spec.set_host_app(
-            ids.h1,
-            Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
-        );
-    }
-    spec.set_telemetry(tm_telemetry::Telemetry::new());
-    let mut sim = build_sim(spec, scenario, &ProfileTargets::fig1());
-    sim.run_for(scenario.run_for);
-    let stats_a = sim
-        .host_app_as::<OobRelayAttacker>(ids.attacker_a)
-        .map(|a| a.stats)
-        .unwrap_or_default();
-    let stats_b = sim
-        .host_app_as::<OobRelayAttacker>(ids.attacker_b)
-        .map(|a| a.stats)
-        .unwrap_or_default();
-    collect_outcome(
-        &sim,
-        ids.port_a,
-        ids.port_b,
-        scenario.benign_traffic.then_some(ids.h1),
-        stats_a,
-        stats_b,
-    )
-}
-
-fn run_oob_fig9(scenario: &LinkFabScenario) -> LinkFabOutcome {
-    let (mut spec, ids) = testbed::fig9_spec(scenario.stack, scenario_config(scenario));
-    // On the Fig. 9 testbed the fabricated link closes a loop with the real
-    // trunk links; bridging broadcasts across it would start a classic
-    // broadcast storm (there is no spanning tree). The paper's evaluation
-    // relays LLDP only here — the MITM bridge demo lives on Fig. 1, where
-    // the fabricated link is the sole path.
-    let mk = |peer| RelayConfig {
-        bridge_dataplane: false,
-        ..oob_relay_config(scenario, peer)
-    };
-    spec.set_host_app(
-        ids.attacker_a,
-        Box::new(OobRelayAttacker::new(mk(ids.attacker_b))),
-    );
-    spec.set_host_app(
-        ids.attacker_b,
-        Box::new(OobRelayAttacker::new(mk(ids.attacker_a))),
-    );
-    if scenario.benign_traffic {
-        spec.set_host_app(
-            ids.h1,
-            Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
-        );
-    }
-    spec.set_telemetry(tm_telemetry::Telemetry::new());
-    let mut sim = build_sim(spec, scenario, &ProfileTargets::fig9());
-    sim.run_for(scenario.run_for);
-    let stats_a = sim
-        .host_app_as::<OobRelayAttacker>(ids.attacker_a)
-        .map(|a| a.stats)
-        .unwrap_or_default();
-    let stats_b = sim
-        .host_app_as::<OobRelayAttacker>(ids.attacker_b)
-        .map(|a| a.stats)
-        .unwrap_or_default();
-    collect_outcome(
-        &sim,
-        ids.port_a,
-        ids.port_b,
-        scenario.benign_traffic.then_some(ids.h1),
-        stats_a,
-        stats_b,
-    )
-}
-
-fn run_in_band(scenario: &LinkFabScenario) -> LinkFabOutcome {
-    let (mut spec, ids) = testbed::fig9_spec(scenario.stack, scenario_config(scenario));
-    let cfg_a = RelayConfig {
-        start_after: scenario.attack_start,
-        ..RelayConfig::in_band(ids.attacker_b, ids.attacker_b_mac, ids.attacker_b_ip)
-    };
-    let cfg_b = RelayConfig {
-        start_after: scenario.attack_start,
-        ..RelayConfig::in_band(ids.attacker_a, ids.attacker_a_mac, ids.attacker_a_ip)
-    };
-    spec.set_host_app(ids.attacker_a, Box::new(InBandRelayAttacker::new(cfg_a)));
-    spec.set_host_app(ids.attacker_b, Box::new(InBandRelayAttacker::new(cfg_b)));
-    if scenario.benign_traffic {
-        spec.set_host_app(
-            ids.h1,
-            Box::new(PeriodicPinger::new(ids.h2_ip, Duration::from_millis(500))),
-        );
-    }
-    spec.set_telemetry(tm_telemetry::Telemetry::new());
-    let mut sim = build_sim(spec, scenario, &ProfileTargets::fig9());
-    sim.run_for(scenario.run_for);
-    let stats_a = sim
-        .host_app_as::<InBandRelayAttacker>(ids.attacker_a)
-        .map(|a| a.stats)
-        .unwrap_or_default();
-    let stats_b = sim
-        .host_app_as::<InBandRelayAttacker>(ids.attacker_b)
-        .map(|a| a.stats)
-        .unwrap_or_default();
-    collect_outcome(
-        &sim,
-        ids.port_a,
-        ids.port_b,
-        scenario.benign_traffic.then_some(ids.h1),
-        stats_a,
-        stats_b,
-    )
 }

@@ -12,6 +12,8 @@
 //! (Port Probing is out of TOPOGUARD+'s scope; the paper defers to secure
 //! identifier binding, §VI-A.)
 
+use tm_topo::TopoKind;
+
 use crate::defense::DefenseStack;
 use crate::hijack::{self, HijackScenario};
 use crate::linkfab::{self, LinkFabScenario, RelayMode};
@@ -65,7 +67,16 @@ pub fn run_matrix_extended(base_seed: u64) -> Vec<MatrixEntry> {
 
 /// Runs the matrix over an explicit stack list (on a clean network).
 pub fn run_matrix_with(stacks: &[DefenseStack], base_seed: u64) -> Vec<MatrixEntry> {
-    run_matrix_impl(stacks, base_seed, FaultProfile::Clean)
+    run_matrix_impl(stacks, base_seed, FaultProfile::Clean, None)
+}
+
+/// Runs the matrix on a generated fabric instead of the paper testbeds:
+/// the same attacks and defenses, with actor placement drawn from the
+/// spec's forked attacker stream. Comparing this against [`run_matrix`]
+/// answers whether a verdict is a property of the defense or of the
+/// two-switch demonstration topology.
+pub fn run_matrix_on(kind: TopoKind, stacks: &[DefenseStack], base_seed: u64) -> Vec<MatrixEntry> {
+    run_matrix_impl(stacks, base_seed, FaultProfile::Clean, Some(kind))
 }
 
 /// Re-runs the full matrix (5 stacks) with every scenario degraded by
@@ -73,13 +84,14 @@ pub fn run_matrix_with(stacks: &[DefenseStack], base_seed: u64) -> Vec<MatrixEnt
 /// congested? `experiments fault_matrix` sweeps this over
 /// [`FaultProfile::MATRIX_SWEEP`].
 pub fn run_matrix_under(profile: FaultProfile, base_seed: u64) -> Vec<MatrixEntry> {
-    run_matrix_impl(&DefenseStack::ALL, base_seed, profile)
+    run_matrix_impl(&DefenseStack::ALL, base_seed, profile, None)
 }
 
 fn run_matrix_impl(
     stacks: &[DefenseStack],
     base_seed: u64,
     faults: FaultProfile,
+    fabric: Option<TopoKind>,
 ) -> Vec<MatrixEntry> {
     let mut entries = Vec::new();
     for (i, stack) in stacks.iter().copied().enumerate() {
@@ -90,14 +102,16 @@ fn run_matrix_impl(
             RelayMode::OutOfBand,
             RelayMode::InBand,
         ] {
-            // The evaluation setting (§VII): Fig. 9 testbed, attack one
-            // minute after bootstrap so defense baselines have formed.
-            // Isolated: a panicking cell becomes a FAILED entry.
+            // The evaluation setting (§VII): Fig. 9 testbed (or the given
+            // fabric), attack one minute after bootstrap so defense
+            // baselines have formed. Isolated: a panicking cell becomes a
+            // FAILED entry.
             match tm_campaign::isolate(|| {
-                linkfab::run(&LinkFabScenario {
-                    faults,
-                    ..LinkFabScenario::paper_eval(mode, stack, seed)
-                })
+                let base = match fabric {
+                    None => LinkFabScenario::paper_eval(mode, stack, seed),
+                    Some(kind) => LinkFabScenario::on_fabric(mode, kind, stack, seed),
+                };
+                linkfab::run(&LinkFabScenario { faults, ..base })
             }) {
                 Ok(outcome) => entries.push(MatrixEntry {
                     attack: mode.name(),
@@ -114,10 +128,14 @@ fn run_matrix_impl(
         }
 
         match tm_campaign::isolate(|| {
+            let base = match fabric {
+                None => HijackScenario::new(stack, seed),
+                Some(kind) => HijackScenario::on_fabric(kind, stack, seed),
+            };
             hijack::run(&HijackScenario {
                 victim_rejoins: false, // measure the stealth window itself
                 faults,
-                ..HijackScenario::new(stack, seed)
+                ..base
             })
         }) {
             Ok(outcome) => entries.push(MatrixEntry {

@@ -20,6 +20,7 @@ const TIMER_TICK: u64 = 1;
 pub struct PeriodicPinger {
     target_ip: IpAddr,
     period: Duration,
+    start_delay: Duration,
     target_mac: Option<MacAddr>,
     next_seq: u16,
     in_flight: VecDeque<(u16, SimTime)>,
@@ -37,6 +38,7 @@ impl PeriodicPinger {
         PeriodicPinger {
             target_ip,
             period,
+            start_delay: Duration::ZERO,
             target_mac: None,
             next_seq: 0,
             in_flight: VecDeque::new(),
@@ -44,6 +46,16 @@ impl PeriodicPinger {
             sent: 0,
             received: 0,
         }
+    }
+
+    /// Like [`PeriodicPinger::new`], but the first probe waits for
+    /// `start_delay` after host start. Fabric scenarios use this to hold
+    /// all dataplane broadcasts (the initial ARP resolution) until the
+    /// controller's discovery has converged and floods are tree-scoped.
+    pub fn starting_at(target_ip: IpAddr, period: Duration, start_delay: Duration) -> Self {
+        let mut pinger = PeriodicPinger::new(target_ip, period);
+        pinger.start_delay = start_delay;
+        pinger
     }
 
     fn send_probe(&mut self, ctx: &mut HostCtx<'_>) {
@@ -77,7 +89,13 @@ impl PeriodicPinger {
 
 impl HostApp for PeriodicPinger {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-        ctx.set_timer(self.period, TIMER_TICK);
+        // The first tick lands at `period` (unchanged historical behavior)
+        // unless a start delay pushes it out.
+        if self.start_delay > Duration::ZERO {
+            ctx.set_timer(self.start_delay, TIMER_TICK);
+        } else {
+            ctx.set_timer(self.period, TIMER_TICK);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut HostCtx<'_>, id: u64) {

@@ -15,48 +15,91 @@ use crate::sched::{EventQueue, SchedBackend, Scheduled};
 pub const PULSE_WINDOW: (Duration, Duration) =
     (Duration::from_millis(8), Duration::from_millis(24));
 
+/// Payload of [`Event::DeliverToSwitch`]: a dataplane frame headed for a
+/// switch port. Boxed so [`Scheduled`] entries stay sift-cheap.
+#[derive(Debug)]
+pub(crate) struct SwitchDelivery {
+    /// Receiving switch.
+    pub(crate) dpid: DatapathId,
+    /// Ingress port.
+    pub(crate) port: PortNo,
+    /// The frame.
+    pub(crate) frame: EthernetFrame,
+}
+
+/// Payload of [`Event::DeliverToHost`]: a dataplane frame headed for a host
+/// interface.
+#[derive(Debug)]
+pub(crate) struct HostDelivery {
+    /// Receiving host.
+    pub(crate) host: HostId,
+    /// The frame.
+    pub(crate) frame: EthernetFrame,
+}
+
+/// Payload of [`Event::DeliverOob`]: a side-channel frame between hosts.
+#[derive(Debug)]
+pub(crate) struct OobDelivery {
+    /// Receiving host.
+    pub(crate) to: HostId,
+    /// Sending host.
+    pub(crate) from: HostId,
+    /// The frame.
+    pub(crate) frame: EthernetFrame,
+}
+
+/// Payload of [`Event::CtrlToSwitch`] / [`Event::CtrlToController`]: an
+/// OpenFlow message in flight on a control channel.
+#[derive(Debug)]
+pub(crate) struct CtrlDelivery {
+    /// The switch end of the control channel.
+    pub(crate) dpid: DatapathId,
+    /// The message.
+    pub(crate) msg: OfMessage,
+}
+
+/// Payload of [`Event::PulseCheck`]: a link-integrity-pulse deadline.
+#[derive(Debug)]
+pub(crate) struct PulseDue {
+    /// The switch.
+    pub(crate) dpid: DatapathId,
+    /// The port.
+    pub(crate) port: PortNo,
+    /// The interface down-epoch this check corresponds to.
+    pub(crate) down_epoch: u64,
+}
+
+/// Payload of [`Event::HostIfaceUp`]: a completing interface bring-up.
+#[derive(Debug)]
+pub(crate) struct IfaceUp {
+    /// The host.
+    pub(crate) host: HostId,
+    /// The bring-up epoch (stale events are ignored).
+    pub(crate) epoch: u64,
+    /// New identity to assume, if the bring-up changes identifiers.
+    pub(crate) identity: Option<(MacAddr, IpAddr)>,
+}
+
 /// An event in the simulation.
+///
+/// Variants whose payload exceeds a couple of machine words (frames,
+/// OpenFlow messages, identity tuples) carry it boxed: every pending event
+/// is moved repeatedly by heap sifts and wheel cascades, so the inline
+/// size of this enum — not the payload size — is what the scheduler pays
+/// per comparison. See the `scheduled_entries_are_sift_cheap` test for the
+/// enforced bound.
 #[derive(Debug)]
 pub(crate) enum Event {
     /// A dataplane frame arrives at a switch port.
-    DeliverToSwitch {
-        /// Receiving switch.
-        dpid: DatapathId,
-        /// Ingress port.
-        port: PortNo,
-        /// The frame.
-        frame: EthernetFrame,
-    },
+    DeliverToSwitch(Box<SwitchDelivery>),
     /// A dataplane frame arrives at a host interface.
-    DeliverToHost {
-        /// Receiving host.
-        host: HostId,
-        /// The frame.
-        frame: EthernetFrame,
-    },
+    DeliverToHost(Box<HostDelivery>),
     /// An out-of-band (side channel) frame arrives at a host.
-    DeliverOob {
-        /// Receiving host.
-        to: HostId,
-        /// Sending host.
-        from: HostId,
-        /// The frame.
-        frame: EthernetFrame,
-    },
+    DeliverOob(Box<OobDelivery>),
     /// A control message arrives at a switch.
-    CtrlToSwitch {
-        /// Receiving switch.
-        dpid: DatapathId,
-        /// The message.
-        msg: OfMessage,
-    },
+    CtrlToSwitch(Box<CtrlDelivery>),
     /// A control message arrives at the controller.
-    CtrlToController {
-        /// Originating switch.
-        dpid: DatapathId,
-        /// The message.
-        msg: OfMessage,
-    },
+    CtrlToController(Box<CtrlDelivery>),
     /// A controller timer fires.
     ControllerTimer {
         /// Timer id chosen by the controller.
@@ -77,14 +120,7 @@ pub(crate) enum Event {
     /// Link-integrity-pulse deadline: if the host interface attached to this
     /// port has been down continuously since `down_epoch`, the switch
     /// declares the port down.
-    PulseCheck {
-        /// The switch.
-        dpid: DatapathId,
-        /// The port.
-        port: PortNo,
-        /// The interface down-epoch this check corresponds to.
-        down_epoch: u64,
-    },
+    PulseCheck(Box<PulseDue>),
     /// Link pulses resumed on a port whose attached interface came back up;
     /// the switch re-detects the link unless traffic already did.
     PulseCheckUp {
@@ -94,14 +130,7 @@ pub(crate) enum Event {
         port: PortNo,
     },
     /// An in-progress `ifconfig`-style interface bring-up completes.
-    HostIfaceUp {
-        /// The host.
-        host: HostId,
-        /// The bring-up epoch (stale events are ignored).
-        epoch: u64,
-        /// New identity to assume, if the bring-up changes identifiers.
-        identity: Option<(MacAddr, IpAddr)>,
-    },
+    HostIfaceUp(Box<IfaceUp>),
     /// A windowed fault (loss / latency spike / control congestion)
     /// activates.
     FaultWindowStart {
@@ -143,17 +172,17 @@ impl Event {
     /// A stable `&'static str` name for per-kind telemetry counters.
     pub(crate) fn kind(&self) -> &'static str {
         match self {
-            Event::DeliverToSwitch { .. } => "netsim.event.deliver_to_switch",
-            Event::DeliverToHost { .. } => "netsim.event.deliver_to_host",
-            Event::DeliverOob { .. } => "netsim.event.deliver_oob",
-            Event::CtrlToSwitch { .. } => "netsim.event.ctrl_to_switch",
-            Event::CtrlToController { .. } => "netsim.event.ctrl_to_controller",
+            Event::DeliverToSwitch(_) => "netsim.event.deliver_to_switch",
+            Event::DeliverToHost(_) => "netsim.event.deliver_to_host",
+            Event::DeliverOob(_) => "netsim.event.deliver_oob",
+            Event::CtrlToSwitch(_) => "netsim.event.ctrl_to_switch",
+            Event::CtrlToController(_) => "netsim.event.ctrl_to_controller",
             Event::ControllerTimer { .. } => "netsim.event.controller_timer",
             Event::HostTimer { .. } => "netsim.event.host_timer",
             Event::SwitchExpiryTick { .. } => "netsim.event.switch_expiry_tick",
-            Event::PulseCheck { .. } => "netsim.event.pulse_check",
+            Event::PulseCheck(_) => "netsim.event.pulse_check",
             Event::PulseCheckUp { .. } => "netsim.event.pulse_check_up",
-            Event::HostIfaceUp { .. } => "netsim.event.host_iface_up",
+            Event::HostIfaceUp(_) => "netsim.event.host_iface_up",
             Event::FaultWindowStart { .. } => "netsim.event.fault_window_start",
             Event::FaultWindowEnd { .. } => "netsim.event.fault_window_end",
             Event::FaultLinkDown { .. } => "netsim.event.fault_link_down",
@@ -313,6 +342,24 @@ mod tests {
     use super::*;
 
     const BACKENDS: [SchedBackend; 2] = [SchedBackend::Wheel, SchedBackend::Heap];
+
+    #[test]
+    fn scheduled_entries_are_sift_cheap() {
+        // Every pending event is moved by heap sifts and wheel cascades;
+        // boxing the fat payloads keeps each move to at most four machine
+        // words: `at` + `seq` + a 16-byte `Event` (tag plus one aligned
+        // word). A regression here means someone inlined a payload.
+        assert!(
+            std::mem::size_of::<Event>() <= 16,
+            "Event grew to {} bytes — box the new payload",
+            std::mem::size_of::<Event>()
+        );
+        assert!(
+            std::mem::size_of::<Scheduled>() <= 32,
+            "Scheduled grew to {} bytes — the sift bound is 32",
+            std::mem::size_of::<Scheduled>()
+        );
+    }
 
     fn core(backend: SchedBackend) -> SimCore {
         SimCore::with_backend(1, Telemetry::disabled(), backend)

@@ -68,6 +68,6 @@ pub use engine::PULSE_WINDOW;
 pub use faults::{FaultPlan, FaultWindow, LossModel};
 pub use host::{FrameDisposition, HostApp, HostCtx, HostInfo, NullHostApp};
 pub use link::{BurstModel, LinkProfile};
-pub use sched::{default_sched_backend, set_global_sched_backend, SchedBackend};
+pub use sched::{default_sched_backend, sched_entry_bytes, set_global_sched_backend, SchedBackend};
 pub use sim::{NetworkSpec, Simulator};
 pub use trace::{Trace, TraceEvent};

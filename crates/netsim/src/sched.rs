@@ -111,6 +111,14 @@ pub fn default_sched_backend() -> SchedBackend {
     }
 }
 
+/// Size in bytes of one queued entry — what every heap sift and wheel
+/// cascade moves per swap. Kept ≤ 32 by boxing fat event payloads (see
+/// `engine::Event`); exposed so benches can record the footprint next to
+/// their throughput numbers.
+pub fn sched_entry_bytes() -> usize {
+    std::mem::size_of::<Scheduled>()
+}
+
 /// A queued event with its firing time and tie-break sequence number.
 #[derive(Debug)]
 pub(crate) struct Scheduled {
@@ -213,7 +221,7 @@ const LEVELS: usize = 5;
 /// Pending-set size beyond which the hierarchical phase engages.
 ///
 /// Below it the queue serves straight from a binary heap: a
-/// cache-resident heap (8192 × 128 B ≈ 1 MiB) beats any multi-level
+/// cache-resident heap (8192 × 32 B ≈ 256 KiB) beats any multi-level
 /// structure — measured on the generated control-plane workloads, even
 /// the 1000-switch fabric (steady pending ≈ 1k, boot-burst highwater
 /// ≈ 5k) stays under it and ties the heap backend exactly. Past the

@@ -115,6 +115,43 @@ impl TopologySpec {
         spec
     }
 
+    /// The placement record for `host`, if it belongs to this fabric.
+    pub fn placement(&self, host: HostId) -> Option<&HostPlacement> {
+        self.hosts.iter().find(|h| h.id == host)
+    }
+
+    /// Host placements attached to `dpid`, in creation order.
+    pub fn hosts_on(&self, dpid: DatapathId) -> impl Iterator<Item = &HostPlacement> {
+        self.hosts.iter().filter(move |h| h.dpid == dpid)
+    }
+
+    /// The lowest port number on `dpid` not used by any inter-switch link
+    /// endpoint or host attachment — where a scenario elaborator can attach
+    /// an extra host (e.g. a migration-destination NIC) without colliding
+    /// with the fabric. Generators assign ports densely from 1, so this is
+    /// simply one past the highest port in use.
+    pub fn free_port(&self, dpid: DatapathId) -> PortNo {
+        let mut max = 0u16;
+        for l in &self.links {
+            if l.a == dpid {
+                max = max.max(l.port_a.raw());
+            }
+            if l.b == dpid {
+                max = max.max(l.port_b.raw());
+            }
+        }
+        for h in self.hosts_on(dpid) {
+            max = max.max(h.port.raw());
+        }
+        PortNo::new(max + 1)
+    }
+
+    /// One past the highest host id in the fabric — for synthesizing extra
+    /// hosts (scenario props) without colliding with generated ids.
+    pub fn next_host_id(&self) -> HostId {
+        HostId::new(self.hosts.iter().map(|h| h.id.0).max().unwrap_or(0) + 1)
+    }
+
     /// Per-switch port usage: inter-switch link endpoints plus host
     /// attachments. Useful for degree/radix assertions.
     pub fn degrees(&self) -> BTreeMap<DatapathId, usize> {

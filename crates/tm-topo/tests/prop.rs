@@ -132,4 +132,24 @@ tm_prop! {
             }
         }
     }
+
+    #[test]
+    fn attacker_count_never_perturbs_the_fabric_and_draws_form_a_prefix(
+        kind in kind_strategy(),
+        seed in 0u64..1000,
+    ) {
+        // A scenario asking for one attacker and a scenario asking for two
+        // must agree on the fabric *and* on who the first attacker is —
+        // the draw comes from a forked stream with the prefix property, so
+        // adding actors extends the cast without recasting anyone.
+        let max = kind.host_count().min(4);
+        let full = kind.generate(seed, max);
+        for n in 0..max {
+            let fewer = kind.generate(seed, n);
+            assert_eq!(fewer.switches, full.switches, "{kind}");
+            assert_eq!(fewer.links, full.links, "{kind}: attacker count must not move the fabric");
+            assert_eq!(fewer.hosts, full.hosts, "{kind}");
+            assert_eq!(fewer.attackers[..], full.attackers[..n], "{kind}: draws form a prefix");
+        }
+    }
 }

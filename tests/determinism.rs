@@ -124,3 +124,56 @@ fn cross_seed_outcomes_are_stable_but_timings_vary() {
         "distinct seeds should draw distinct jitter and diverge in the trace"
     );
 }
+
+#[test]
+fn fabric_hijack_trace_replays_exactly() {
+    // The fabric path adds a whole elaboration layer (generated topology,
+    // role mapping from the forked attacker stream, tree-scoped flooding)
+    // between parameters and simulator spec — the replay guarantee must
+    // survive all of it.
+    let scenario = HijackScenario::on_fabric(
+        topomirage::topo::TopoKind::FatTree { k: 4 },
+        DefenseStack::TopoGuardSphinx,
+        11,
+    );
+    let a = hijack::run(&scenario);
+    let b = hijack::run(&scenario);
+    assert!(!a.trace.is_empty(), "fabric trace must be captured");
+    assert_eq!(a.trace, b.trace, "fabric hijack must replay exactly");
+    assert_eq!(a.metrics.render(), b.metrics.render());
+}
+
+#[test]
+fn fabric_linkfab_trace_replays_exactly() {
+    let scenario = LinkFabScenario::on_fabric(
+        RelayMode::OutOfBand,
+        topomirage::topo::TopoKind::Ring {
+            switches: 4,
+            hosts_per_switch: 2,
+        },
+        DefenseStack::TopoGuardPlus,
+        13,
+    );
+    let a = linkfab::run(&scenario);
+    let b = linkfab::run(&scenario);
+    assert!(!a.trace.is_empty(), "fabric trace must be captured");
+    assert_eq!(a.trace, b.trace, "fabric linkfab must replay exactly");
+    assert_eq!(a.link_established, b.link_established);
+    assert_eq!(a.metrics.render(), b.metrics.render());
+}
+
+#[test]
+fn topo_matrix_render_is_reproducible() {
+    // The rendered table is what EXPERIMENTS.md quotes; it must be a pure
+    // function of (fabric kind, stacks, base seed).
+    use topomirage::scenarios::matrix;
+    let kind = topomirage::topo::TopoKind::Ring {
+        switches: 4,
+        hosts_per_switch: 2,
+    };
+    let stacks = [DefenseStack::None, DefenseStack::TopoGuardPlus];
+    let a = matrix::run_matrix_on(kind, &stacks, 0xD5_2018);
+    let b = matrix::run_matrix_on(kind, &stacks, 0xD5_2018);
+    assert_eq!(matrix::render(&a), matrix::render(&b));
+    assert!(a.iter().all(|e| e.failure.is_none()), "no cell may crash");
+}
