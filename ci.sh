@@ -9,7 +9,18 @@ cargo clippy --offline --all-targets -- -D warnings
 # Documentation is part of the contract: broken intra-doc links or missing
 # docs on public items fail the build. Fully offline, no deps to fetch.
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
-cargo run -q -p tm-lint --offline
+
+# Determinism lint, twice: a cold run populates target/tm-lint-cache,
+# the warm run must hit it for every file ("misses":0) and stay under
+# the 2-second incremental budget (wall_ms counts analysis, not cargo).
+tmp="${TMPDIR:-/tmp}"
+rm -rf target/tm-lint-cache
+cargo run -q -p tm-lint --offline >"$tmp/tm_lint_cold.out"
+cargo run -q -p tm-lint --offline >"$tmp/tm_lint_warm.out"
+grep '^TM_LINT_JSON ' "$tmp/tm_lint_warm.out" | grep -q '"misses":0'
+warm_ms=$(sed -n 's/^TM_LINT_JSON .*"wall_ms":\([0-9]*\).*/\1/p' "$tmp/tm_lint_warm.out")
+test "$warm_ms" -lt 2000
+
 cargo build --release --offline
 cargo test -q --offline --workspace
 cargo bench --no-run --offline
@@ -24,7 +35,6 @@ cargo test -q --release --offline --test sched_diff -- --ignored
 # must produce byte-identical stdout at --workers 1 and --workers 2. The
 # wall-clock BENCH_JSON records go to stderr precisely so they stay out of
 # this diff.
-tmp="${TMPDIR:-/tmp}"
 cargo run -q --release --offline -p bench --bin experiments -- \
     campaign smoke --seeds 3 --workers 1 \
     >"$tmp/tm_campaign_w1.out" 2>"$tmp/tm_campaign_w1.err"
@@ -55,5 +65,7 @@ TM_BENCH_SAMPLES=3 cargo bench --offline -p bench >"$tmp/tm_bench.out"
     printf '  ],\n  "bench": [\n'
     grep '^BENCH_JSON ' "$tmp/tm_bench.out" \
         | sed -e 's/^BENCH_JSON /    /' -e 's/$/,/' -e '$s/,$//'
-    printf '  ]\n}\n'
+    printf '  ],\n  "lint": '
+    grep '^TM_LINT_JSON ' "$tmp/tm_lint_warm.out" | sed 's/^TM_LINT_JSON //'
+    printf '}\n'
 } >BENCH_topomirage.json

@@ -153,6 +153,7 @@ impl Topology {
                 let mut path = Vec::new();
                 let mut cur = to;
                 while cur != from {
+                    debug_assert!(prev.contains_key(&cur), "BFS recorded a predecessor");
                     let link = prev[&cur];
                     path.push(link);
                     cur = link.src.dpid;

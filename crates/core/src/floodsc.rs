@@ -56,6 +56,12 @@ pub struct FloodOutcome {
 /// Runs the scenario: `victims` benign hosts generate background traffic;
 /// the attacker round-robins spoofed frames bearing their identities.
 pub fn run(scenario: &FloodScenario) -> FloodOutcome {
+    // Victim hosts use ids/IP octets/ports 1..=victims; the attacker sits
+    // at 100 — more victims than that would silently collide with it.
+    assert!(
+        (1..=99).contains(&scenario.victims),
+        "victims must be 1..=99 (the attacker occupies slot 100)"
+    );
     let sw = DatapathId::new(0x1);
     let link = LinkProfile::fixed(Duration::from_millis(5));
     let mut spec = NetworkSpec::new();

@@ -73,7 +73,8 @@ impl PeriodicPinger {
             Some(mac) => {
                 self.next_seq = self.next_seq.wrapping_add(1);
                 let seq = self.next_seq;
-                let icmp = IcmpPacket::echo_request(info.id.0 as u16, seq, vec![0xAB; 16]);
+                let icmp =
+                    IcmpPacket::echo_request((info.id.0 & 0xffff) as u16, seq, vec![0xAB; 16]);
                 let pkt = Ipv4Packet::new(info.ip, self.target_ip, Transport::Icmp(icmp));
                 if ctx.send_ipv4(mac, pkt) {
                     self.sent += 1;

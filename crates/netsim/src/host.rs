@@ -171,6 +171,10 @@ impl HostCtx<'_> {
 
     /// Snapshot of this host's state.
     pub fn info(&self) -> HostInfo {
+        debug_assert!(
+            self.net.hosts.contains_key(&self.host),
+            "HostCtx is only built for hosts already in the map"
+        );
         self.net.hosts[&self.host].info()
     }
 
@@ -429,6 +433,10 @@ pub(crate) fn deliver_frame(
 /// TCP (SYN → SYN-ACK or RST; stray SYN-ACK → RST, which is the idle-scan
 /// side effect).
 fn default_stack(core: &mut SimCore, net: &mut NetState, host: HostId, frame: &EthernetFrame) {
+    debug_assert!(
+        net.hosts.contains_key(&host),
+        "deliver_frame resolved this host"
+    );
     let (my_mac, my_ip, respond_arp, respond_icmp, respond_tcp) = {
         let h = &net.hosts[&host];
         (h.mac, h.ip, h.respond_arp, h.respond_icmp, h.respond_tcp)

@@ -483,6 +483,10 @@ impl TimingWheel {
                 // The wheel's earliest slot starts at or before the
                 // overflow front: it anchors the window.
                 Some((level, idx, start)) if overflow_tick.is_none_or(|t| start <= t) => {
+                    debug_assert!(
+                        level < LEVELS && idx < SLOTS,
+                        "first_occupied yields in-range wheel coordinates"
+                    );
                     let bit = 1u64 << idx;
                     let mut scratch = std::mem::take(&mut self.scratch);
                     scratch.append(&mut self.slots[level * SLOTS + idx]);

@@ -95,6 +95,10 @@ impl SwitchState {
     }
 
     pub(crate) fn attach(&mut self, port: PortNo, peer: Peer, link: LinkProfile) {
+        debug_assert!(
+            self.dpid.raw() <= 0x00ff_ffff,
+            "switch MACs encode a 24-bit dpid"
+        );
         let hw = MacAddr::from_index((self.dpid.raw() as u32) << 8 | u32::from(port.raw()));
         self.ports.insert(
             port,
@@ -393,6 +397,10 @@ pub(crate) fn handle_frame(
     };
 
     if became_up {
+        debug_assert!(
+            net.switches.contains_key(&dpid) && net.switches[&dpid].ports.contains_key(&in_port),
+            "became_up was set while borrowing this exact port"
+        );
         let desc = net.switches[&dpid].ports[&in_port].desc(in_port);
         net.trace.push(TraceEvent::PortUp {
             at: now,

@@ -109,6 +109,10 @@ pub fn encode(xid: Xid, msg: &OfMessage) -> Vec<u8> {
             data,
         } => {
             body.put_u32(u32::MAX); // buffer_id: none (full packet included)
+            debug_assert!(
+                data.len() <= usize::from(u16::MAX),
+                "PacketIn data fits total_len"
+            );
             body.put_u16(data.len() as u16);
             body.put_u16(in_port.raw());
             body.put_u8(match reason {
@@ -130,6 +134,10 @@ pub fn encode(xid: Xid, msg: &OfMessage) -> Vec<u8> {
             for a in actions {
                 encode_action(&mut acts, a);
             }
+            debug_assert!(
+                acts.len() <= usize::from(u16::MAX),
+                "actions fit the length field"
+            );
             body.put_u16(acts.len() as u16);
             body.put_slice(&acts);
             body.put_slice(data);
@@ -229,6 +237,14 @@ pub fn encode(xid: Xid, msg: &OfMessage) -> Vec<u8> {
         }
     };
 
+    debug_assert!(
+        HEADER_LEN + body.len() <= usize::from(u16::MAX),
+        "message fits header length"
+    );
+    debug_assert!(
+        xid.0 <= u64::from(u32::MAX),
+        "xid fits the 32-bit wire field"
+    );
     let mut out = Vec::with_capacity(HEADER_LEN + body.len());
     out.push(OFP_VERSION);
     out.push(ty);
@@ -663,10 +679,10 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
-        if self.remaining() < n {
-            return Err(ParseError::truncated("OfMessage", n, self.remaining()));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
+        let out = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| ParseError::truncated("OfMessage", n, self.remaining()))?;
         self.pos += n;
         Ok(out)
     }

@@ -71,6 +71,10 @@ impl LldpTlv {
     }
 
     fn encode_into(&self, buf: &mut BytesMut) {
+        debug_assert!(
+            self.value.len() <= 511,
+            "new() enforces the 9-bit length field"
+        );
         let header = (u16::from(self.tlv_type.0) << 9) | (self.value.len() as u16);
         buf.put_u16(header);
         buf.put_slice(&self.value);

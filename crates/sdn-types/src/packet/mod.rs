@@ -26,6 +26,10 @@ pub use udp::UdpDatagram;
 /// buffer; an out-of-range read is a parser logic error (index panic),
 /// not a recoverable condition — this keeps `.expect()` off parse paths.
 pub(crate) fn mac_at(bytes: &[u8], off: usize) -> crate::MacAddr {
+    debug_assert!(
+        bytes.len() >= off + 6,
+        "mac_at caller broke the length contract"
+    );
     crate::MacAddr::from([
         bytes[off],
         bytes[off + 1],
@@ -38,11 +42,19 @@ pub(crate) fn mac_at(bytes: &[u8], off: usize) -> crate::MacAddr {
 
 /// Reads an IPv4 address at `off` (same contract as [`mac_at`]).
 pub(crate) fn ip_at(bytes: &[u8], off: usize) -> crate::IpAddr {
+    debug_assert!(
+        bytes.len() >= off + 4,
+        "ip_at caller broke the length contract"
+    );
     crate::IpAddr::from([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
 }
 
 /// Reads a big-endian `u64` at `off` (same contract as [`mac_at`]).
 pub(crate) fn u64_be_at(bytes: &[u8], off: usize) -> u64 {
+    debug_assert!(
+        bytes.len() >= off + 8,
+        "u64_be_at caller broke the length contract"
+    );
     u64::from_be_bytes([
         bytes[off],
         bytes[off + 1],

@@ -72,11 +72,11 @@ impl TcpFlags {
     };
 
     fn to_byte(self) -> u8 {
-        (self.fin as u8)
-            | (self.syn as u8) << 1
-            | (self.rst as u8) << 2
-            | (self.psh as u8) << 3
-            | (self.ack as u8) << 4
+        u8::from(self.fin)
+            | u8::from(self.syn) << 1
+            | u8::from(self.rst) << 2
+            | u8::from(self.psh) << 3
+            | u8::from(self.ack) << 4
     }
 
     fn from_byte(b: u8) -> Self {

@@ -127,6 +127,9 @@ pub fn run_campaign(registry: &Registry, spec: &CampaignSpec) -> Result<Campaign
     if spec.seeds == 0 {
         return Err("campaign needs at least one seed per cell".to_string());
     }
+    // Everything below derives (cell, seed_index) as `k / spec.seeds` and
+    // `k % spec.seeds`; restate the guard where the divisions live.
+    debug_assert!(spec.seeds > 0);
     if !(spec.confidence > 0.0 && spec.confidence < 1.0) {
         return Err(format!("confidence {} outside (0, 1)", spec.confidence));
     }

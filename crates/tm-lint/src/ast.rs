@@ -1,0 +1,142 @@
+//! The lightweight per-file item tree the flow-aware passes walk.
+//!
+//! This is deliberately **not** a full Rust AST. The determinism passes
+//! need to know where functions begin and end, what they are called, what
+//! they call, which parameters and `let`-bindings are in scope, and which
+//! items are `#[cfg(test)]` — nothing more. Expressions are represented as
+//! token ranges plus a shallow [`ExprInfo`] summary (the identifiers and
+//! calls they mention), which is exactly the granularity the seed-taint
+//! analysis reasons at. Anything the parser does not understand becomes an
+//! [`ItemKind::Other`] and is skipped, never an error: the compiler owns
+//! syntax, the linter only owns the contract.
+
+use std::ops::Range;
+
+/// The parsed item tree of one file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item, with the `#[cfg(test)]` exemption already resolved (an item
+/// is `cfg_test` if its own attributes or any enclosing module's say so).
+#[derive(Debug)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// 1-indexed line the item starts on (its keyword).
+    pub line: u32,
+    /// Whether the item (or an ancestor) is gated behind `cfg(test)`.
+    pub cfg_test: bool,
+}
+
+/// Item discriminant. Only the kinds passes care about are structured.
+#[derive(Debug)]
+pub enum ItemKind {
+    /// `mod name { … }` (inline) or `mod name;` (empty `items`).
+    Mod {
+        /// Module name.
+        name: String,
+        /// Nested items (empty for out-of-line modules).
+        items: Vec<Item>,
+    },
+    /// A free function.
+    Fn(FnDef),
+    /// `impl Type { … }` / `impl Trait for Type { … }`.
+    Impl(ImplDef),
+    /// `use path::to::thing;` — the use graph, one edge per declaration.
+    Use {
+        /// The path text with `::` separators, braces/globs kept verbatim.
+        path: String,
+    },
+    /// Anything else (struct/enum/const/static/trait/macro/…), skipped.
+    Other,
+}
+
+/// An `impl` block and the methods defined in it.
+#[derive(Debug)]
+pub struct ImplDef {
+    /// The self type's head identifier (`Simulator` for
+    /// `impl<'a> foo::Simulator<'a>`).
+    pub ty: String,
+    /// The trait's head identifier for trait impls.
+    pub trait_name: Option<String>,
+    /// Methods (each an [`ItemKind::Fn`] item, so `cfg_test` is per-fn).
+    pub fns: Vec<Item>,
+}
+
+/// A function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Whether the fn has any `pub` visibility.
+    pub is_pub: bool,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter pattern identifiers (`self` included when present).
+    pub params: Vec<String>,
+    /// The body, when the fn has one (trait method signatures do not).
+    pub body: Option<Body>,
+}
+
+/// A function body: its token extent plus the `let`-bindings found in it
+/// (including those inside nested blocks and closures — taint analysis is
+/// deliberately scope-insensitive).
+#[derive(Debug, Default)]
+pub struct Body {
+    /// Token index range covering the body, *excluding* the outer braces.
+    pub tokens: Range<usize>,
+    /// `let` bindings in source order.
+    pub lets: Vec<LetBind>,
+}
+
+/// One `let` binding (also `if let` / `while let` scrutinees).
+#[derive(Debug)]
+pub struct LetBind {
+    /// Identifiers bound by the pattern (`let (a, b) = …` binds two).
+    pub names: Vec<String>,
+    /// 1-indexed line of the `let`.
+    pub line: u32,
+    /// The initializer, when present.
+    pub init: Option<ExprInfo>,
+}
+
+/// A shallow summary of an expression: enough for data-flow taint.
+#[derive(Debug, Default, Clone)]
+pub struct ExprInfo {
+    /// Token index range of the expression.
+    pub tokens: Range<usize>,
+    /// Every identifier mentioned, in order (keywords excluded).
+    pub idents: Vec<String>,
+    /// Every called function/method name, in order.
+    pub calls: Vec<String>,
+    /// True when the expression contains no identifiers at all — a pure
+    /// literal (possibly with operators/parens).
+    pub literal_only: bool,
+}
+
+impl Ast {
+    /// Walks every function in the tree (free fns, methods, fns in inline
+    /// modules), visiting `(fn, enclosing impl type if any, cfg_test)`.
+    pub fn for_each_fn<'a>(&'a self, f: &mut impl FnMut(&'a FnDef, Option<&'a str>, bool)) {
+        fn walk<'a>(items: &'a [Item], f: &mut impl FnMut(&'a FnDef, Option<&'a str>, bool)) {
+            for item in items {
+                match &item.kind {
+                    ItemKind::Fn(def) => f(def, None, item.cfg_test),
+                    ItemKind::Impl(im) => {
+                        for m in &im.fns {
+                            if let ItemKind::Fn(def) = &m.kind {
+                                f(def, Some(im.ty.as_str()), m.cfg_test);
+                            }
+                        }
+                    }
+                    ItemKind::Mod { items, .. } => walk(items, f),
+                    ItemKind::Use { .. } | ItemKind::Other => {}
+                }
+            }
+        }
+        walk(&self.items, f);
+    }
+}

@@ -1,0 +1,378 @@
+//! Content-hash incremental caching for the lint engine.
+//!
+//! Local-pass results depend only on a file's bytes and the lint
+//! configuration, so they are cached per file under
+//! `target/tm-lint-cache/cache.v1`: one [`crate::passes::FileFacts`]
+//! record keyed by an FNV-1a hash of the file's contents. The header
+//! carries a *config fingerprint* — the schema version, the full rule
+//! list, and the raw `tm-lint.toml` text — so any change to the linter
+//! or its configuration invalidates the whole cache at once rather than
+//! mixing generations. The workspace pass (panic-reachability) and
+//! directive/stale-allow accounting are recomputed on every run from the
+//! cached facts; only lexing, parsing, and the local passes are skipped.
+//!
+//! The format is a plain line-oriented text file (the workspace bans
+//! external serde-style dependencies). Any parse hiccup — truncation,
+//! version skew, hand-editing — drops the whole cache and the next run
+//! rebuilds it: a cache can only ever cost a warm start, never
+//! correctness. Writes go through a temp file + rename so a crashed run
+//! never leaves a half-written cache behind.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::passes::{CallFact, DirFact, FileFacts, FnFact, PanicFact, RawDiag};
+use crate::rules;
+
+/// Bump when the serialized shape of [`FileFacts`] changes.
+const VERSION: &str = "v1";
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty for change detection
+/// (a collision needs two *different same-path file contents* colliding).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The config fingerprint: schema version + rule list + raw config text.
+pub fn config_fingerprint(config_text: &str) -> u64 {
+    let mut key = String::new();
+    key.push_str(VERSION);
+    key.push('\n');
+    key.push_str(&rules::rule_names().join(","));
+    key.push('\n');
+    key.push_str(config_text);
+    fnv1a(key.as_bytes())
+}
+
+/// The in-memory cache: path -> (content hash, facts).
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileFacts)>,
+    fingerprint: u64,
+    /// Hits/misses this run, for `TM_LINT_JSON`.
+    pub hits: u64,
+    /// See `hits`.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Loads the cache from `dir`, or returns an empty one on any
+    /// mismatch (missing file, version/config skew, parse failure).
+    pub fn load(dir: &Path, fingerprint: u64) -> Cache {
+        let mut cache = Cache {
+            fingerprint,
+            ..Cache::default()
+        };
+        let Ok(text) = fs::read_to_string(cache_file(dir)) else {
+            return cache;
+        };
+        if let Some(entries) = parse(&text, fingerprint) {
+            cache.entries = entries;
+        }
+        cache
+    }
+
+    /// Looks up `rel` at `hash`, counting the hit or miss.
+    pub fn lookup(&mut self, rel: &str, hash: u64) -> Option<FileFacts> {
+        match self.entries.get(rel) {
+            Some((h, facts)) if *h == hash => {
+                self.hits += 1;
+                Some(facts.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records fresh facts for `rel`.
+    pub fn store(&mut self, rel: &str, hash: u64, facts: FileFacts) {
+        self.entries.insert(rel.to_string(), (hash, facts));
+    }
+
+    /// Drops entries for files that no longer exist in the scanned set.
+    pub fn retain_files(&mut self, live: &[String]) {
+        let live: std::collections::BTreeSet<&str> = live.iter().map(String::as_str).collect();
+        self.entries.retain(|rel, _| live.contains(rel.as_str()));
+    }
+
+    /// Writes the cache atomically (temp file + rename).
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "tm-lint-cache {VERSION} {:016x}\n",
+            self.fingerprint
+        ));
+        for (rel, (hash, facts)) in &self.entries {
+            out.push_str(&format!("F {hash:016x} {rel}\n"));
+            for d in &facts.raw {
+                out.push_str(&format!("R {} {} {}\n", d.rule, d.line, esc(&d.message)));
+            }
+            for d in &facts.dirs {
+                out.push_str(&format!(
+                    "D {} {} {} {}\n",
+                    d.line,
+                    u8::from(d.file_scope),
+                    d.rules.join(","),
+                    if d.covered.is_empty() {
+                        "-".to_string()
+                    } else {
+                        d.covered
+                            .iter()
+                            .map(u32::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    },
+                ));
+            }
+            for f in &facts.fns {
+                out.push_str(&format!(
+                    "N {} {} {} {}\n",
+                    f.line,
+                    u8::from(f.is_pub),
+                    f.impl_ty.as_deref().unwrap_or("-"),
+                    f.name,
+                ));
+                for c in &f.calls {
+                    out.push_str(&format!(
+                        "C {} {}\n",
+                        c.qual.as_deref().unwrap_or("-"),
+                        c.name
+                    ));
+                }
+                for p in &f.panics {
+                    out.push_str(&format!("P {} {}\n", p.line, esc(&p.detail)));
+                }
+            }
+            out.push_str(".\n");
+        }
+        let tmp = dir.join(format!("cache.{VERSION}.tmp{}", std::process::id()));
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, cache_file(dir))
+    }
+}
+
+fn cache_file(dir: &Path) -> PathBuf {
+    dir.join(format!("cache.{VERSION}"))
+}
+
+/// Parses the cache body; `None` on any structural problem.
+fn parse(text: &str, fingerprint: u64) -> Option<BTreeMap<String, (u64, FileFacts)>> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut h = header.split(' ');
+    if h.next()? != "tm-lint-cache" || h.next()? != VERSION {
+        return None;
+    }
+    if u64::from_str_radix(h.next()?, 16).ok()? != fingerprint {
+        return None;
+    }
+
+    let mut entries = BTreeMap::new();
+    let mut cur: Option<(String, u64, FileFacts)> = None;
+    for line in lines {
+        let (tag, rest) = line.split_at(line.len().min(2));
+        match tag {
+            "F " => {
+                let (hash, rel) = rest.split_once(' ')?;
+                cur = Some((
+                    rel.to_string(),
+                    u64::from_str_radix(hash, 16).ok()?,
+                    FileFacts::default(),
+                ));
+            }
+            "R " => {
+                let mut p = rest.splitn(3, ' ');
+                let rule = rules::intern(p.next()?)?;
+                let line = p.next()?.parse().ok()?;
+                let message = unesc(p.next()?);
+                cur.as_mut()?.2.raw.push(RawDiag {
+                    rule,
+                    line,
+                    message,
+                });
+            }
+            "D " => {
+                let mut p = rest.splitn(4, ' ');
+                let line = p.next()?.parse().ok()?;
+                let file_scope = p.next()? == "1";
+                let dir_rules = p.next()?.split(',').map(str::to_string).collect();
+                let covered_field = p.next()?;
+                let covered = if covered_field == "-" {
+                    Vec::new()
+                } else {
+                    covered_field
+                        .split(',')
+                        .map(|c| c.parse().ok())
+                        .collect::<Option<Vec<u32>>>()?
+                };
+                cur.as_mut()?.2.dirs.push(DirFact {
+                    line,
+                    file_scope,
+                    rules: dir_rules,
+                    covered,
+                });
+            }
+            "N " => {
+                let mut p = rest.splitn(4, ' ');
+                let line = p.next()?.parse().ok()?;
+                let is_pub = p.next()? == "1";
+                let impl_ty = match p.next()? {
+                    "-" => None,
+                    t => Some(t.to_string()),
+                };
+                let name = p.next()?.to_string();
+                cur.as_mut()?.2.fns.push(FnFact {
+                    name,
+                    line,
+                    impl_ty,
+                    is_pub,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            "C " => {
+                let (qual, name) = rest.split_once(' ')?;
+                let qual = (qual != "-").then(|| qual.to_string());
+                cur.as_mut()?.2.fns.last_mut()?.calls.push(CallFact {
+                    qual,
+                    name: name.to_string(),
+                });
+            }
+            "P " => {
+                let (line, detail) = rest.split_once(' ')?;
+                cur.as_mut()?.2.fns.last_mut()?.panics.push(PanicFact {
+                    line: line.parse().ok()?,
+                    detail: unesc(detail),
+                });
+            }
+            _ if line == "." => {
+                let (rel, hash, facts) = cur.take()?;
+                entries.insert(rel, (hash, facts));
+            }
+            _ => return None,
+        }
+    }
+    // A trailing unterminated record means a truncated file: reject.
+    if cur.is_some() {
+        return None;
+    }
+    Some(entries)
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_facts() -> FileFacts {
+        FileFacts {
+            raw: vec![RawDiag {
+                rule: "wall-clock",
+                line: 3,
+                message: "multi\nline \\ message".to_string(),
+            }],
+            dirs: vec![DirFact {
+                line: 7,
+                file_scope: false,
+                rules: vec!["threads".to_string(), "wall-clock".to_string()],
+                covered: vec![7, 8],
+            }],
+            fns: vec![FnFact {
+                name: "step".to_string(),
+                line: 12,
+                impl_ty: Some("Simulator".to_string()),
+                is_pub: true,
+                calls: vec![CallFact {
+                    qual: Some("StdRng".to_string()),
+                    name: "seed_from_u64".to_string(),
+                }],
+                panics: vec![PanicFact {
+                    line: 14,
+                    detail: "`q[…]` unguarded".to_string(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("tm-lint-cache-test-{}", std::process::id()));
+        let fp = config_fingerprint("deny = [\"wall-clock\"]");
+        let mut cache = Cache::load(&dir, fp);
+        cache.store("crates/x/src/lib.rs", 0xabcd, sample_facts());
+        cache.save(&dir).unwrap();
+
+        let mut back = Cache::load(&dir, fp);
+        assert_eq!(
+            back.lookup("crates/x/src/lib.rs", 0xabcd),
+            Some(sample_facts())
+        );
+        assert_eq!((back.hits, back.misses), (1, 0));
+        assert_eq!(back.lookup("crates/x/src/lib.rs", 0x1234), None);
+        assert_eq!(back.lookup("other.rs", 0xabcd), None);
+        assert_eq!((back.hits, back.misses), (1, 2));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_change_invalidates_everything() {
+        let dir = std::env::temp_dir().join(format!("tm-lint-cache-fp-{}", std::process::id()));
+        let mut cache = Cache::load(&dir, config_fingerprint("a"));
+        cache.store("f.rs", 1, sample_facts());
+        cache.save(&dir).unwrap();
+        let mut back = Cache::load(&dir, config_fingerprint("b"));
+        assert_eq!(back.lookup("f.rs", 1), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_on_disk_is_an_empty_cache() {
+        let dir = std::env::temp_dir().join(format!("tm-lint-cache-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("cache.v1"),
+            "tm-lint-cache v1 0000000000000000\nF zz",
+        )
+        .unwrap();
+        let mut cache = Cache::load(&dir, 0);
+        assert_eq!(cache.lookup("f.rs", 1), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Known FNV-1a vectors: changing these means every cache ever
+        // written would be silently invalid — fail loudly instead.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::rules::rule_names;
+use crate::rules::{meta_rules, rule_names};
 
 /// One tier: the paths it covers and the rules it denies.
 #[derive(Debug, Default, Clone)]
@@ -81,12 +81,22 @@ impl Config {
             if tier.paths.is_empty() {
                 return Err(format!("tier `{name}` covers no paths"));
             }
+            let mut seen = std::collections::BTreeSet::new();
             for rule in &tier.deny {
                 if !rule_names().contains(&rule.as_str()) {
                     return Err(format!(
                         "tier `{name}` denies unknown rule `{rule}` (known: {})",
                         rule_names().join(", ")
                     ));
+                }
+                if meta_rules().contains(&rule.as_str()) {
+                    return Err(format!(
+                        "tier `{name}` lists meta-rule `{rule}`; meta-rules are always active \
+                         in every tier and may not appear in deny lists"
+                    ));
+                }
+                if !seen.insert(rule.as_str()) {
+                    return Err(format!("tier `{name}` denies `{rule}` twice"));
                 }
             }
         }
@@ -181,8 +191,27 @@ deny = ["unseeded-rng"]
 
     #[test]
     fn unknown_rule_is_fatal() {
+        // A typo'd rule name must not silently deny nothing.
         let bad = "[tier.x]\npaths = [\"src\"]\ndeny = [\"no-such-rule\"]\n";
-        assert!(Config::parse(bad).is_err());
+        let err = Config::parse(bad).unwrap_err();
+        assert!(err.contains("unknown rule `no-such-rule`"), "{err}");
+        let typo = "[tier.x]\npaths = [\"src\"]\ndeny = [\"wall-clocks\"]\n";
+        assert!(Config::parse(typo).unwrap_err().contains("wall-clocks"));
+    }
+
+    #[test]
+    fn meta_rules_in_deny_lists_are_fatal() {
+        for meta in ["stale-allow", "bad-directive"] {
+            let bad = format!("[tier.x]\npaths = [\"src\"]\ndeny = [\"{meta}\"]\n");
+            let err = Config::parse(&bad).unwrap_err();
+            assert!(err.contains("meta-rule"), "{err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_deny_entries_are_fatal() {
+        let bad = "[tier.x]\npaths = [\"src\"]\ndeny = [\"threads\", \"threads\"]\n";
+        assert!(Config::parse(bad).unwrap_err().contains("twice"));
     }
 
     #[test]

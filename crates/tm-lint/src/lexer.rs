@@ -114,13 +114,29 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 let start_line = line;
+                let start = i;
                 i = skip_string(b, i + 1, &mut line);
-                out.tokens.push(tok(TokKind::Literal, "\"…\"", start_line));
+                out.tokens
+                    .push(tok(TokKind::Literal, &src[start..i], start_line));
+            }
+            b'r' if starts_raw_ident(b, i) => {
+                // Raw identifier `r#foo`: one Ident token. The token text is
+                // the bare name — `r#thread` *is* the identifier `thread`,
+                // so rules must see it under its real name.
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(tok(TokKind::Ident, &src[start..j], line));
+                i = j;
             }
             b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
                 let start_line = line;
+                let start = i;
                 i = skip_raw_or_byte_string(b, i, &mut line);
-                out.tokens.push(tok(TokKind::Literal, "\"…\"", start_line));
+                out.tokens
+                    .push(tok(TokKind::Literal, &src[start..i], start_line));
             }
             b'\'' => {
                 // Lifetime or char literal. `'ident` with no closing quote
@@ -134,8 +150,10 @@ pub fn lex(src: &str) -> Lexed {
                     i = j;
                 } else {
                     let start_line = line;
+                    let start = i;
                     i = skip_char_literal(b, i + 1, &mut line);
-                    out.tokens.push(tok(TokKind::Literal, "'…'", start_line));
+                    out.tokens
+                        .push(tok(TokKind::Literal, &src[start..i], start_line));
                 }
             }
             c if c.is_ascii_digit() => {
@@ -235,7 +253,15 @@ fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
 fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (line continuation) still ends a
+                // source line; without this the count drifts for the rest
+                // of the file and every later diagnostic points wrong.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -245,6 +271,17 @@ fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
         }
     }
     i
+}
+
+/// `r#ident` (a raw identifier) — but not `r#"…"#` (a raw string) and not
+/// the tail of a longer identifier.
+fn starts_raw_ident(b: &[u8], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    b.get(i + 1) == Some(&b'#')
+        && b.get(i + 2)
+            .is_some_and(|&c| c.is_ascii_alphabetic() || c == b'_')
 }
 
 /// Distinguishes `'a` / `'static` (lifetime) from `'x'` / `'\n'` (char).
@@ -262,7 +299,7 @@ fn is_lifetime(b: &[u8], i: usize) -> bool {
 fn skip_char_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => i = (i + 2).min(b.len()),
             b'\'' => return i + 1,
             b'\n' => {
                 // Unterminated; bail so one bad char doesn't eat the file.
@@ -428,6 +465,87 @@ mod tests {
         let d2 = &lexed.directives[2];
         assert!(d2.reason.is_empty() && !d2.malformed);
         assert!(lexed.directives[3].malformed);
+    }
+
+    #[test]
+    fn string_literals_keep_their_text() {
+        let lexed = lex(r#"let s = "netsim.engine.events"; let b = b"raw";"#);
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["\"netsim.engine.events\"", "b\"raw\""]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers_honest() {
+        // The `\` + newline line-continuation used to be skipped without
+        // counting the newline, drifting every later line number.
+        let src = "let a = \"one\\\ntwo\";\nlet tail = 1;";
+        let lexed = lex(src);
+        let tail = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "tail")
+            .expect("tail");
+        assert_eq!(tail.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let src = "fn r#try(r#type: u32) { r#match(); } let s = r#\"still a raw string\"#;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "try", "type", "u32", "match", "let", "s"]);
+        let lits: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lits, vec!["r#\"still a raw string\"#"]);
+    }
+
+    #[test]
+    fn raw_byte_strings_and_byte_chars_are_opaque() {
+        let src = "let a = br#\"Instant \" inside\"#; let c = b'x'; let d = '\\u{1F600}'; tail";
+        let ids = idents(src);
+        // `b` before a byte-char still lexes as a stray ident; it must not
+        // swallow the following char literal or the tail.
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"inside".to_string()));
+    }
+
+    #[test]
+    fn underscore_char_literal_is_not_a_lifetime() {
+        let src = "let c = '_'; let l: &'_ str = s; end";
+        let lexed = lex(src);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'_'"]);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'_"]);
+        assert_eq!(lexed.tokens.last().map(|t| t.text.as_str()), Some("end"));
+    }
+
+    #[test]
+    fn unterminated_escape_at_eof_does_not_overrun() {
+        // Regression: a trailing backslash used to step the cursor past the
+        // end of the buffer, which now that literal text is sliced out of
+        // the source would be an out-of-bounds range.
+        let _ = lex("let s = \"abc\\");
+        let _ = lex("let c = '\\");
     }
 
     #[test]

@@ -1,0 +1,820 @@
+//! Recursive-descent parser: token stream → [`Ast`].
+//!
+//! Hand-rolled (zero dependencies, per the workspace policy: the linter
+//! guards the hermetic build so it is itself hermetic) and deliberately
+//! forgiving — the compiler owns syntax errors, so anything this parser
+//! does not recognise is skipped token-by-token rather than failing the
+//! file. What it *must* get right is structure: where items begin and
+//! end (balanced delimiters), which items are behind `#[cfg(test)]`, fn
+//! names/parameters/bodies, and `let`-bindings with their initializer
+//! extents — that structure is what the flow-aware passes consume.
+
+use std::ops::Range;
+
+use crate::ast::{Ast, Body, ExprInfo, FnDef, ImplDef, Item, ItemKind, LetBind};
+use crate::lexer::{Tok, TokKind};
+
+/// Parses a lexed token stream into an item tree. Never fails.
+pub fn parse(toks: &[Tok]) -> Ast {
+    let mut p = Parser { t: toks, i: 0 };
+    Ast {
+        items: p.items(false, false),
+    }
+}
+
+/// Summarises the expression in `range` (identifiers, calls, literal-ness).
+/// Exposed so passes can summarise sub-expressions they carve out of a
+/// body themselves (e.g. a call argument list).
+pub fn summarize_expr(toks: &[Tok], range: Range<usize>) -> ExprInfo {
+    let mut info = ExprInfo {
+        tokens: range.clone(),
+        ..ExprInfo::default()
+    };
+    let mut saw_ident = false;
+    for j in range.clone() {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let text = t.text.as_str();
+        if is_expr_keyword(text) {
+            continue;
+        }
+        saw_ident = true;
+        info.idents.push(text.to_string());
+        if toks.get(j + 1).map(|n| n.text.as_str()) == Some("(") {
+            info.calls.push(text.to_string());
+        }
+    }
+    info.literal_only = !saw_ident;
+    info
+}
+
+/// Keywords that may appear inside expressions and must not count as
+/// data-carrying identifiers (`true`/`false` lex as idents but are
+/// literals for taint purposes).
+pub(crate) fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "mut"
+            | "ref"
+            | "move"
+            | "if"
+            | "else"
+            | "match"
+            | "loop"
+            | "while"
+            | "for"
+            | "in"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "true"
+            | "false"
+            | "dyn"
+            | "impl"
+            | "fn"
+            | "where"
+            | "unsafe"
+            | "await"
+    )
+}
+
+struct Parser<'a> {
+    t: &'a [Tok],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self) -> &str {
+        self.t.get(self.i).map_or("", |t| t.text.as_str())
+    }
+
+    fn kind(&self) -> Option<TokKind> {
+        self.t.get(self.i).map(|t| t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.t.get(self.i).map_or(0, |t| t.line)
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.text() == s
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.t.len()
+    }
+
+    /// Item sequence until EOF (or a `}` when `stop_at_close`).
+    fn items(&mut self, stop_at_close: bool, cfg_test: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        while !self.done() {
+            if stop_at_close && self.at("}") {
+                break;
+            }
+            let before = self.i;
+            if let Some(item) = self.item(cfg_test) {
+                out.push(item);
+            }
+            if self.i == before {
+                self.bump(); // always advance: unknown construct
+            }
+        }
+        out
+    }
+
+    /// One item. Returns `None` for constructs that produce no tree node
+    /// (stray tokens); the caller guarantees progress.
+    fn item(&mut self, inherited_cfg_test: bool) -> Option<Item> {
+        let mut cfg_test = inherited_cfg_test;
+        while self.at("#") {
+            cfg_test |= self.attr();
+        }
+        let line = self.line();
+        let mut is_pub = false;
+        if self.at("pub") {
+            is_pub = true;
+            self.bump();
+            if self.at("(") {
+                self.balanced("(", ")");
+            }
+        }
+        // Fn qualifiers. `const` is only a qualifier when followed by `fn`;
+        // `extern` may introduce a block or a crate import instead.
+        loop {
+            match self.text() {
+                "unsafe" | "async" => self.bump(),
+                "default" if self.peek_is(1, "fn") => self.bump(),
+                "const" if self.peek_is(1, "fn") => self.bump(),
+                "extern" => {
+                    self.bump();
+                    if self.kind() == Some(TokKind::Literal) {
+                        self.bump(); // `extern "C"`
+                    }
+                    if self.at("{") {
+                        self.balanced("{", "}");
+                        return Some(Item {
+                            kind: ItemKind::Other,
+                            line,
+                            cfg_test,
+                        });
+                    }
+                    if self.at("crate") {
+                        self.skip_to_semi();
+                        return Some(Item {
+                            kind: ItemKind::Other,
+                            line,
+                            cfg_test,
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+        match self.text() {
+            "fn" => {
+                let def = self.fn_def(is_pub);
+                Some(Item {
+                    kind: ItemKind::Fn(def),
+                    line,
+                    cfg_test,
+                })
+            }
+            "mod" => {
+                self.bump();
+                let name = self.ident_text();
+                let items = if self.at("{") {
+                    self.bump();
+                    let inner = self.items(true, cfg_test);
+                    if self.at("}") {
+                        self.bump();
+                    }
+                    inner
+                } else {
+                    self.skip_to_semi();
+                    Vec::new()
+                };
+                Some(Item {
+                    kind: ItemKind::Mod { name, items },
+                    line,
+                    cfg_test,
+                })
+            }
+            "impl" => {
+                let def = self.impl_def(cfg_test);
+                Some(Item {
+                    kind: ItemKind::Impl(def),
+                    line,
+                    cfg_test,
+                })
+            }
+            "use" => {
+                self.bump();
+                let mut path = String::new();
+                while !self.done() && !self.at(";") {
+                    path.push_str(self.text());
+                    self.bump();
+                }
+                if self.at(";") {
+                    self.bump();
+                }
+                Some(Item {
+                    kind: ItemKind::Use { path },
+                    line,
+                    cfg_test,
+                })
+            }
+            "struct" | "enum" | "union" | "trait" => {
+                self.skip_struct_like();
+                Some(Item {
+                    kind: ItemKind::Other,
+                    line,
+                    cfg_test,
+                })
+            }
+            "const" | "static" | "type" => {
+                self.skip_to_semi();
+                Some(Item {
+                    kind: ItemKind::Other,
+                    line,
+                    cfg_test,
+                })
+            }
+            "macro_rules" => {
+                self.bump();
+                if self.at("!") {
+                    self.bump();
+                }
+                self.ident_text();
+                match self.text() {
+                    "{" => self.balanced("{", "}"),
+                    "(" => {
+                        self.balanced("(", ")");
+                        self.skip_to_semi();
+                    }
+                    "[" => {
+                        self.balanced("[", "]");
+                        self.skip_to_semi();
+                    }
+                    _ => {}
+                }
+                Some(Item {
+                    kind: ItemKind::Other,
+                    line,
+                    cfg_test,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn peek_is(&self, ahead: usize, s: &str) -> bool {
+        self.t.get(self.i + ahead).map(|t| t.text.as_str()) == Some(s)
+    }
+
+    /// Consumes a `#[…]` / `#![…]` attribute; true if it is `cfg(…test…)`.
+    fn attr(&mut self) -> bool {
+        self.bump(); // '#'
+        if self.at("!") {
+            self.bump();
+        }
+        if !self.at("[") {
+            return false;
+        }
+        self.bump();
+        let mut depth = 1u32;
+        let mut first = true;
+        let mut is_cfg = false;
+        let mut mentions_test = false;
+        while !self.done() && depth > 0 {
+            match self.text() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "cfg" | "cfg_attr" if first => is_cfg = true,
+                "test" => mentions_test = true,
+                _ => {}
+            }
+            first = false;
+            self.bump();
+        }
+        is_cfg && mentions_test
+    }
+
+    fn ident_text(&mut self) -> String {
+        if self.kind() == Some(TokKind::Ident) {
+            let s = self.text().to_string();
+            self.bump();
+            s
+        } else {
+            String::new()
+        }
+    }
+
+    /// Consumes from the opening delimiter through its balanced close.
+    fn balanced(&mut self, open: &str, close: &str) {
+        if !self.at(open) {
+            return;
+        }
+        let mut depth = 0u32;
+        while !self.done() {
+            if self.at(open) {
+                depth += 1;
+            } else if self.at(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes up to and including the next `;` at delimiter depth 0.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i32;
+        while !self.done() {
+            match self.text() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            if depth < 0 {
+                return; // stray close: let the caller see it
+            }
+            self.bump();
+        }
+    }
+
+    /// struct/enum/union/trait: ends at `;` (unit/tuple struct) or at the
+    /// balanced `{…}` body.
+    fn skip_struct_like(&mut self) {
+        while !self.done() {
+            match self.text() {
+                "{" => {
+                    self.balanced("{", "}");
+                    return;
+                }
+                "(" => {
+                    self.balanced("(", ")");
+                }
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "<" => self.skip_generics(),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a balanced `<…>` generics group, treating the `>` of a
+    /// `->` arrow (closure/fn-trait bounds) as part of the arrow.
+    fn skip_generics(&mut self) {
+        if !self.at("<") {
+            return;
+        }
+        let mut depth = 0i32;
+        let mut prev = String::new();
+        while !self.done() {
+            match self.text() {
+                "<" => depth += 1,
+                ">" if prev != "-" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                "(" => {
+                    self.balanced("(", ")");
+                    prev = ")".to_string();
+                    continue;
+                }
+                _ => {}
+            }
+            prev = self.text().to_string();
+            self.bump();
+        }
+    }
+
+    fn fn_def(&mut self, is_pub: bool) -> FnDef {
+        let line = self.line();
+        self.bump(); // 'fn'
+        let name = self.ident_text();
+        if self.at("<") {
+            self.skip_generics();
+        }
+        let mut params = Vec::new();
+        if self.at("(") {
+            let start = self.i + 1;
+            self.balanced("(", ")");
+            let end = self.i.saturating_sub(1);
+            params = param_names(self.t, start..end);
+        }
+        // Return type / where clause: scan to the body `{` or a `;`.
+        while !self.done() && !self.at("{") && !self.at(";") {
+            match self.text() {
+                "<" => self.skip_generics(),
+                "(" => self.balanced("(", ")"),
+                "[" => self.balanced("[", "]"),
+                _ => self.bump(),
+            }
+        }
+        let body = if self.at("{") {
+            let start = self.i + 1;
+            self.balanced("{", "}");
+            let end = self.i.saturating_sub(1);
+            Some(Body {
+                lets: let_bindings(self.t, start..end),
+                tokens: start..end,
+            })
+        } else {
+            if self.at(";") {
+                self.bump();
+            }
+            None
+        };
+        FnDef {
+            name,
+            is_pub,
+            line,
+            params,
+            body,
+        }
+    }
+
+    fn impl_def(&mut self, cfg_test: bool) -> ImplDef {
+        self.bump(); // 'impl'
+        if self.at("<") {
+            self.skip_generics();
+        }
+        // Collect the head up to the body: `Trait for Type` or `Type`.
+        let mut pre_for: Vec<String> = Vec::new();
+        let mut post_for: Vec<String> = Vec::new();
+        let mut seen_for = false;
+        while !self.done() && !self.at("{") && !self.at(";") && !self.at("where") {
+            if self.at("for") {
+                seen_for = true;
+                self.bump();
+                continue;
+            }
+            if self.at("<") {
+                self.skip_generics();
+                continue;
+            }
+            if self.kind() == Some(TokKind::Ident) {
+                let seg = if seen_for {
+                    &mut post_for
+                } else {
+                    &mut pre_for
+                };
+                seg.push(self.text().to_string());
+            }
+            self.bump();
+        }
+        if self.at("where") {
+            while !self.done() && !self.at("{") && !self.at(";") {
+                match self.text() {
+                    "<" => self.skip_generics(),
+                    "(" => self.balanced("(", ")"),
+                    "[" => self.balanced("[", "]"),
+                    _ => self.bump(),
+                }
+            }
+        }
+        let (ty_path, trait_path) = if seen_for {
+            (post_for, Some(pre_for))
+        } else {
+            (pre_for, None)
+        };
+        let ty = ty_path.last().cloned().unwrap_or_default();
+        let trait_name = trait_path.and_then(|p| p.last().cloned());
+        let mut fns = Vec::new();
+        if self.at("{") {
+            self.bump();
+            while !self.done() && !self.at("}") {
+                let before = self.i;
+                let mut member_cfg_test = cfg_test;
+                while self.at("#") {
+                    member_cfg_test |= self.attr();
+                }
+                let line = self.line();
+                let mut is_pub = false;
+                if self.at("pub") {
+                    is_pub = true;
+                    self.bump();
+                    if self.at("(") {
+                        self.balanced("(", ")");
+                    }
+                }
+                while matches!(self.text(), "unsafe" | "async")
+                    || (matches!(self.text(), "const" | "default") && self.peek_is(1, "fn"))
+                {
+                    self.bump();
+                }
+                if self.at("fn") {
+                    let def = self.fn_def(is_pub);
+                    fns.push(Item {
+                        kind: ItemKind::Fn(def),
+                        line,
+                        cfg_test: member_cfg_test,
+                    });
+                } else if !self.at("}") {
+                    self.skip_to_semi();
+                }
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            if self.at("}") {
+                self.bump();
+            }
+        }
+        ImplDef {
+            ty,
+            trait_name,
+            fns,
+        }
+    }
+}
+
+/// Pattern identifiers of a parameter list (token range inside the
+/// parens). `mut`/`ref` are stripped; enum/struct constructor heads and
+/// path qualifiers are not bound names and are excluded.
+fn param_names(toks: &[Tok], range: Range<usize>) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_type = false; // between a top-level `:` and the next `,`
+    let mut j = range.start;
+    while j < range.end {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ":" if depth == 0 => in_type = true,
+            "," if depth == 0 => in_type = false,
+            _ => {}
+        }
+        if !in_type && t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref") {
+            // Constructor heads (`Some(x)`, `Point { .. }`) and path
+            // segments (`core::…`) are not bindings.
+            let next = toks.get(j + 1).map(|n| n.text.as_str());
+            if !matches!(next, Some("(") | Some("{") | Some("::")) {
+                out.push(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Extracts `let` bindings (plus `if let` / `while let` scrutinees) from
+/// a body token range, shallowly: nested blocks and closures are scanned
+/// as part of the same body.
+fn let_bindings(toks: &[Tok], range: Range<usize>) -> Vec<LetBind> {
+    let mut out = Vec::new();
+    let mut j = range.start;
+    while j < range.end {
+        if toks[j].kind != TokKind::Ident || toks[j].text != "let" {
+            j += 1;
+            continue;
+        }
+        let line = toks[j].line;
+        let refutable = j > range.start
+            && matches!(toks[j - 1].text.as_str(), "if" | "while")
+            && toks[j - 1].kind == TokKind::Ident;
+        // Pattern: to the binder `=` (or statement end for `let x;`).
+        let mut names = Vec::new();
+        let mut depth = 0i32;
+        let mut in_type = false;
+        let mut k = j + 1;
+        let mut eq = None;
+        while k < range.end {
+            let t = &toks[k];
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ":" if depth == 0 => in_type = true,
+                ";" if depth <= 0 => break,
+                "=" if depth == 0 => {
+                    let prev = toks[k - 1].text.as_str();
+                    let next = toks.get(k + 1).map(|n| n.text.as_str());
+                    if prev != "." && prev != "<" && prev != ">" && prev != "!" && next != Some("=")
+                    {
+                        eq = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if !in_type
+                && t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "mut" | "ref" | "box")
+            {
+                let next = toks.get(k + 1).map(|n| n.text.as_str());
+                if !matches!(next, Some("(") | Some("{") | Some("::")) {
+                    names.push(t.text.clone());
+                }
+            }
+            k += 1;
+        }
+        let Some(eq) = eq else {
+            out.push(LetBind {
+                names,
+                line,
+                init: None,
+            });
+            j = k + 1;
+            continue;
+        };
+        // Initializer: to the `;` at depth 0 — or, for `if let`/`while
+        // let`, to the `{` opening the consequent block.
+        let start = eq + 1;
+        let mut depth = 0i32;
+        let mut k = start;
+        while k < range.end {
+            match toks[k].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" => {
+                    if refutable && depth == 0 {
+                        break;
+                    }
+                    depth += 1;
+                }
+                "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(LetBind {
+            names,
+            line,
+            init: Some(summarize_expr(toks, start..k)),
+        });
+        j = k + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ItemKind;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src).tokens)
+    }
+
+    fn fn_names(ast: &Ast) -> Vec<(String, Option<String>, bool)> {
+        let mut out = Vec::new();
+        ast.for_each_fn(&mut |def, impl_ty, cfg_test| {
+            out.push((def.name.clone(), impl_ty.map(str::to_string), cfg_test));
+        });
+        out
+    }
+
+    #[test]
+    fn items_fns_impls_mods_and_uses() {
+        let src = r#"
+use std::collections::BTreeMap;
+pub struct Simulator { x: u32 }
+impl Simulator {
+    pub fn new(seed: u64) -> Self { Self { x: 0 } }
+    fn helper(&self) {}
+}
+impl core::fmt::Display for Simulator {
+    fn fmt(&self, f: &mut Fmt) -> Result { Ok(()) }
+}
+mod inner {
+    pub fn run_inner() {}
+}
+#[cfg(test)]
+mod tests {
+    fn test_only() {}
+}
+fn free(a: u64, (b, c): (u32, u32)) {}
+"#;
+        let ast = parse_src(src);
+        let fns = fn_names(&ast);
+        assert_eq!(
+            fns,
+            vec![
+                ("new".into(), Some("Simulator".into()), false),
+                ("helper".into(), Some("Simulator".into()), false),
+                ("fmt".into(), Some("Simulator".into()), false),
+                ("run_inner".into(), None, false),
+                ("test_only".into(), None, true),
+                ("free".into(), None, false),
+            ]
+        );
+        let uses: Vec<&str> = ast
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Use { path } => Some(path.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(uses, vec!["std::collections::BTreeMap"]);
+    }
+
+    #[test]
+    fn params_and_lets_are_extracted() {
+        let src = r#"
+fn build(seed: u64, mut count: usize) {
+    let rng = StdRng::seed_from_u64(seed);
+    let (a, b) = split(rng);
+    let literal = 42;
+    if let Some(x) = maybe { use_it(x); }
+    let from_block = match kind { A => seed, B => 0 };
+}
+"#;
+        let ast = parse_src(src);
+        let mut got = None;
+        ast.for_each_fn(&mut |def, _, _| got = Some(def.clone_for_test()));
+        let def = got.expect("fn parsed");
+        assert_eq!(def.0, vec!["seed", "count"]);
+        let lets = def.1;
+        assert_eq!(lets.len(), 5);
+        assert_eq!(lets[0].0, vec!["rng"]);
+        assert!(lets[0].1.contains(&"seed".to_string()));
+        assert_eq!(lets[1].0, vec!["a", "b"]);
+        assert_eq!(lets[2].0, vec!["literal"]);
+        assert!(lets[2].2, "42 is literal-only");
+        assert_eq!(lets[3].0, vec!["x"]);
+        assert!(lets[3].1.contains(&"maybe".to_string()));
+        assert!(
+            lets[4].1.contains(&"seed".to_string()),
+            "match-arm idents are part of the initializer summary"
+        );
+    }
+
+    #[test]
+    fn generics_arrows_and_where_clauses_do_not_derail() {
+        let src = r#"
+fn apply<F: Fn(u64) -> u64>(f: F) -> u64 where F: Copy { f(1) }
+impl<T: Ord> Wheel<T> where T: Copy { fn push(&mut self, x: T) {} }
+pub const fn c() -> usize { 4 }
+"#;
+        let fns = fn_names(&parse_src(src));
+        assert_eq!(fns.len(), 3, "{fns:?}");
+        assert_eq!(fns[0].0, "apply");
+        assert_eq!(fns[1], ("push".into(), Some("Wheel".into()), false));
+        assert_eq!(fns[2].0, "c");
+    }
+
+    #[test]
+    fn cfg_test_attr_on_fn_and_mod_is_inherited() {
+        let src = "#[cfg(test)]\nfn gated() {}\nmod m { #[cfg(all(test, feature = \"x\"))] fn also() {} fn not() {} }";
+        let fns = fn_names(&parse_src(src));
+        assert_eq!(
+            fns,
+            vec![
+                ("gated".into(), None, true),
+                ("also".into(), None, true),
+                ("not".into(), None, false),
+            ]
+        );
+    }
+
+    impl FnDef {
+        /// Test helper: (params, per-let (names, init idents, literal_only)).
+        #[allow(clippy::type_complexity)]
+        fn clone_for_test(&self) -> (Vec<String>, Vec<(Vec<String>, Vec<String>, bool)>) {
+            let lets = self
+                .body
+                .as_ref()
+                .map(|b| {
+                    b.lets
+                        .iter()
+                        .map(|l| {
+                            (
+                                l.names.clone(),
+                                l.init
+                                    .as_ref()
+                                    .map(|i| i.idents.clone())
+                                    .unwrap_or_default(),
+                                l.init.as_ref().map(|i| i.literal_only).unwrap_or(false),
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            (self.params.clone(), lets)
+        }
+    }
+}

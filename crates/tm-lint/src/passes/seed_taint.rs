@@ -1,0 +1,177 @@
+//! Seed-taint: every RNG constructed in sim/defense code must be
+//! data-flow-reachable from a scenario seed.
+//!
+//! The determinism contract says the simulation is a pure function of
+//! `(scenario, seed)`. The `unseeded-rng` token rule catches ambient
+//! entropy (`thread_rng`, `OsRng`), but it cannot see an RNG that is
+//! *seeded* — just from the wrong value: a literal (`seed_from_u64(42)`),
+//! or a laundered argument that never flowed from the scenario seed. This
+//! pass tracks taint per function:
+//!
+//! * a parameter or `let` binding whose name mentions `seed`/`rng`/
+//!   `entropy` is tainted (the seed always travels under those names in
+//!   this workspace — naming *is* part of the contract);
+//! * a `let` initializer that mentions a tainted identifier, or calls a
+//!   derivation fn (`fork`/`stream`/`stream_seed`/`derive`/`splitmix64`),
+//!   taints its bindings;
+//! * every RNG construction (`seed_from_u64(…)`, `from_state(…)`) must
+//!   then take a tainted argument: a literal-only argument is a
+//!   *literal-seeded* RNG, an untainted one is *argument-laundered*.
+//!
+//! The analysis is intra-procedural and scope-insensitive by design —
+//! cross-fn flow is exactly what the naming convention carries.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::parser::summarize_expr;
+use crate::rules::Diagnostic;
+
+use super::{AnalyzedFile, Pass, Workspace};
+
+/// Calls whose result is a value derived from an existing seed/RNG.
+const DERIVE_CALLS: &[&str] = &["fork", "stream", "stream_seed", "derive", "splitmix64"];
+
+/// RNG construction entry points in `tm_rand`.
+const CONSTRUCTORS: &[&str] = &["seed_from_u64", "from_state"];
+
+/// The seed-taint pass.
+pub struct SeedTaint;
+
+impl Pass for SeedTaint {
+    fn name(&self) -> &'static str {
+        "seed-taint"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["seed-taint"]
+    }
+
+    fn run(&self, unit: &AnalyzedFile, _ws: &Workspace) -> Vec<Diagnostic> {
+        let (Some(lexed), Some(ast)) = (unit.lexed, unit.ast) else {
+            return Vec::new();
+        };
+        let toks = &lexed.tokens;
+        let mut out = Vec::new();
+        ast.for_each_fn(&mut |def, _impl_ty, cfg_test| {
+            if cfg_test {
+                return;
+            }
+            let Some(body) = &def.body else { return };
+
+            // Taint seeding: seedy params, then let-bindings in order.
+            let mut tainted: BTreeSet<&str> = def
+                .params
+                .iter()
+                .map(String::as_str)
+                .filter(|p| is_seedy(p))
+                .collect();
+            for l in &body.lets {
+                let derived = l.init.as_ref().is_some_and(|init| {
+                    init.idents
+                        .iter()
+                        .any(|id| is_seedy(id) || tainted.contains(id.as_str()))
+                        || init
+                            .calls
+                            .iter()
+                            .any(|c| DERIVE_CALLS.contains(&c.as_str()))
+                });
+                if derived {
+                    tainted.extend(l.names.iter().map(String::as_str));
+                }
+            }
+
+            // Construction sites: `seed_from_u64(…)` / `from_state(…)`.
+            let mut j = body.tokens.start;
+            while j < body.tokens.end {
+                let t = &toks[j];
+                if t.kind == TokKind::Ident
+                    && CONSTRUCTORS.contains(&t.text.as_str())
+                    && toks.get(j + 1).map(|n| n.text.as_str()) == Some("(")
+                {
+                    let close = matching_paren(toks, j + 1, body.tokens.end);
+                    let arg = summarize_expr(toks, j + 2..close);
+                    let arg_text = render(toks, j + 2..close);
+                    if arg.literal_only {
+                        out.push(Diagnostic {
+                            path: unit.rel.to_string(),
+                            line: t.line,
+                            rule: "seed-taint",
+                            message: format!(
+                                "`{}({arg_text})` seeds an RNG from a literal; every sim RNG must \
+                                 derive from the scenario seed via fork()/stream()/stream_seed()",
+                                t.text
+                            ),
+                        });
+                    } else {
+                        let ok = arg
+                            .idents
+                            .iter()
+                            .any(|id| is_seedy(id) || tainted.contains(id.as_str()))
+                            || arg.calls.iter().any(|c| DERIVE_CALLS.contains(&c.as_str()));
+                        if !ok {
+                            out.push(Diagnostic {
+                                path: unit.rel.to_string(),
+                                line: t.line,
+                                rule: "seed-taint",
+                                message: format!(
+                                    "`{}({arg_text})`: the seed value is not data-flow-reachable \
+                                     from a scenario seed in this fn (argument-laundered); thread \
+                                     the seed through a parameter or derive it via \
+                                     fork()/stream_seed()",
+                                    t.text
+                                ),
+                            });
+                        }
+                    }
+                    j = close;
+                }
+                j += 1;
+            }
+        });
+        out
+    }
+}
+
+/// Whether a name is part of the seed-carrying naming convention.
+fn is_seedy(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("seed") || lower.contains("rng") || lower.contains("entropy")
+}
+
+/// Index of the `)` matching the `(` at `open` (clamped to `end`).
+fn matching_paren(toks: &[crate::lexer::Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < end {
+        match toks[k].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    end
+}
+
+/// Renders a token range back to compact source-ish text (truncated).
+fn render(toks: &[crate::lexer::Tok], range: std::ops::Range<usize>) -> String {
+    let mut s = String::new();
+    for t in &toks[range] {
+        if !s.is_empty() && t.kind != TokKind::Punct && !s.ends_with(['(', '.', ':', '&']) {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+        if s.len() > 48 {
+            s.truncate(45);
+            s.push('…');
+            break;
+        }
+    }
+    s
+}

@@ -1,0 +1,174 @@
+//! The six original token rules, ported onto the pass API.
+//!
+//! Every rule keys off identifier tokens plus at most two neighbours, so
+//! the pass is a single sweep over the lexed file. Code under
+//! `#[cfg(test)]` is excluded first: tests may freely use `HashSet` for
+//! order-insensitive assertions or `unwrap()` on fixtures — the contract
+//! protects *sim-visible* state, which tests are not.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::Diagnostic;
+
+use super::{AnalyzedFile, Pass, Workspace};
+
+/// The token-rule pass: all six single-site determinism rules.
+pub struct TokenRules;
+
+impl Pass for TokenRules {
+    fn name(&self) -> &'static str {
+        "tokens"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &[
+            "wall-clock",
+            "unordered-collections",
+            "unseeded-rng",
+            "threads",
+            "float-ordering",
+            "unwrap-in-lib",
+        ]
+    }
+
+    fn run(&self, unit: &AnalyzedFile, _ws: &Workspace) -> Vec<Diagnostic> {
+        let Some(lexed) = unit.lexed else {
+            return Vec::new();
+        };
+        let excluded = test_code_ranges(&lexed.tokens);
+        let mut out = Vec::new();
+        for (i, t) in lexed.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if excluded.iter().any(|r| r.contains(&i)) {
+                continue;
+            }
+            if let Some((rule, message)) = match_rule(&lexed.tokens, i) {
+                out.push(Diagnostic {
+                    path: unit.rel.to_string(),
+                    line: t.line,
+                    rule,
+                    message,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Matches the token at `i` (an ident) against every rule. Returns the
+/// first rule hit and its message.
+fn match_rule(toks: &[Tok], i: usize) -> Option<(&'static str, String)> {
+    let t = &toks[i];
+    let text = t.text.as_str();
+    let prev = |n: usize| i.checked_sub(n).map(|j| toks[j].text.as_str());
+    let next = |n: usize| toks.get(i + n).map(|t| t.text.as_str());
+
+    match text {
+        "Instant" | "SystemTime" | "UNIX_EPOCH" => Some((
+            "wall-clock",
+            format!("`{text}` reads the wall clock; sim-visible time must come from SimTime"),
+        )),
+        "HashMap" | "HashSet" => Some((
+            "unordered-collections",
+            format!("`{text}` iterates in hash order; use BTreeMap/BTreeSet (or a Vec) so state is ordered"),
+        )),
+        "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy" | "getrandom" => Some((
+            "unseeded-rng",
+            format!("`{text}` draws entropy outside the seeded tm-rand root; fork from the scenario RNG"),
+        )),
+        "Mutex" | "RwLock" | "Condvar" | "JoinHandle" | "thread_local" | "mpsc" => Some((
+            "threads",
+            format!("`{text}` implies concurrency; sim crates are single-threaded by contract"),
+        )),
+        "thread" if next(1) == Some("::") || prev(1) == Some("::") => Some((
+            "threads",
+            "`std::thread` implies concurrency; sim crates are single-threaded by contract".into(),
+        )),
+        "partial_cmp" => Some((
+            "float-ordering",
+            "`partial_cmp` is NaN-partial; event-ordering paths need `total_cmp` or integer keys".into(),
+        )),
+        "unwrap" | "expect" if prev(1) == Some(".") && next(1) == Some("(") => Some((
+            "unwrap-in-lib",
+            format!("`.{text}()` panics on scenario-reachable input; return a Result or use let-else/debug_assert"),
+        )),
+        _ => None,
+    }
+}
+
+/// Token index ranges covered by `#[cfg(test)]` (or any `cfg(…)` attribute
+/// mentioning `test`, e.g. `cfg(all(test, …))`), including the attribute
+/// itself and the brace-delimited item that follows it. Shared by every
+/// local pass that sweeps raw tokens rather than walking the item tree.
+pub(crate) fn test_code_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            // Scan the attribute body up to its closing `]`.
+            let attr_start = i;
+            let mut j = i + 2;
+            let mut depth = 1u32;
+            let mut is_cfg = false;
+            let mut mentions_test = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "cfg" if j == attr_start + 2 => is_cfg = true,
+                    "test" => mentions_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg && mentions_test {
+                // Skip any further attributes, then the braced item.
+                let mut k = j;
+                while k < toks.len() && toks[k].text == "#" {
+                    let mut d = 0u32;
+                    k += 1;
+                    if k < toks.len() && toks[k].text == "[" {
+                        loop {
+                            match toks.get(k).map(|t| t.text.as_str()) {
+                                Some("[") => d += 1,
+                                Some("]") => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                None => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+                    k += 1;
+                }
+                if toks.get(k).map(|t| t.text.as_str()) == Some("{") {
+                    let mut braces = 1u32;
+                    k += 1;
+                    while k < toks.len() && braces > 0 {
+                        match toks[k].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => braces -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                out.push(attr_start..k);
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}

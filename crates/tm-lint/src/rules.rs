@@ -1,19 +1,20 @@
-//! The determinism rules and the engine that applies them to a token
-//! stream.
+//! The rule registry and the diagnostic assembler.
 //!
-//! Every rule keys off identifier tokens plus at most two neighbours, so
-//! the engine is a single pass over the lexed file. Code under
-//! `#[cfg(test)]` is excluded first: tests may freely use `HashSet` for
-//! order-insensitive assertions or `unwrap()` on fixtures — the contract
-//! protects *sim-visible* state, which tests are not.
+//! Passes (see [`crate::passes`]) produce raw diagnostics; this module
+//! owns everything that happens after: directive vetting, allow
+//! accounting, and the **stale-allow ratchet** — an allow directive that
+//! suppresses zero diagnostics is itself an error, so the suppression
+//! set can only shrink over time.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
-use crate::lexer::{Directive, Lexed, Tok, TokKind};
+use crate::lexer::Directive;
+use crate::passes::{DirFact, FileFacts};
 
-/// All rule names, in the order they are reported. `bad-directive` is a
-/// meta-rule (malformed or reason-less suppressions) and cannot itself be
-/// suppressed.
+/// All rule names, in the order they are reported. `stale-allow` and
+/// `bad-directive` are meta-rules (the linter checking its own
+/// suppression machinery): always active, never suppressible, and not
+/// valid in tier deny lists or allow directives.
 pub fn rule_names() -> &'static [&'static str] {
     &[
         "wall-clock",
@@ -22,8 +23,22 @@ pub fn rule_names() -> &'static [&'static str] {
         "threads",
         "float-ordering",
         "unwrap-in-lib",
+        "seed-taint",
+        "panic-reachability",
+        "telemetry-names",
+        "stale-allow",
         "bad-directive",
     ]
+}
+
+/// The meta-rules: diagnostics about the lint machinery itself.
+pub fn meta_rules() -> &'static [&'static str] {
+    &["stale-allow", "bad-directive"]
+}
+
+/// Interns a rule name to its `&'static str` form.
+pub fn intern(name: &str) -> Option<&'static str> {
+    rule_names().iter().find(|r| **r == name).copied()
 }
 
 /// One finding: a denied construct at a specific line.
@@ -58,223 +73,121 @@ pub struct FileReport {
     pub allowed: BTreeMap<&'static str, u64>,
 }
 
-/// Lints one lexed file against the `deny` rule set.
-pub fn check(path: &str, lexed: &Lexed, deny: &[String]) -> FileReport {
+/// Checks a directive is well-formed: parseable, known non-meta rules,
+/// non-empty reason. Returns the problem text if not.
+pub(crate) fn vet_directive(d: &Directive) -> Result<(), String> {
+    if d.malformed {
+        return Err("malformed directive (expected `tm-lint: allow(<rules>) -- <reason>`)".into());
+    }
+    if d.reason.is_empty() {
+        return Err("allow directive without a written reason (`-- <why>` is mandatory)".into());
+    }
+    if let Some(unknown) = d
+        .rules
+        .iter()
+        .find(|r| !rule_names().contains(&r.as_str()) || meta_rules().contains(&r.as_str()))
+    {
+        return Err(format!("allow directive names unknown rule `{unknown}`"));
+    }
+    if d.rules.is_empty() {
+        return Err("allow directive lists no rules".into());
+    }
+    Ok(())
+}
+
+/// Assembles a file's final report from its cached facts plus the
+/// workspace-pass diagnostics for it: applies allow directives, counts
+/// what each suppressed, and turns zero-credit directive rules into
+/// `stale-allow` diagnostics.
+pub fn assemble(path: &str, facts: &FileFacts, ws_diags: Vec<Diagnostic>) -> FileReport {
     let mut report = FileReport::default();
-    let deny: BTreeSet<&str> = deny.iter().map(String::as_str).collect();
 
-    // Directive bookkeeping: a trailing allow (code precedes the comment
-    // on its line) covers only that line; a standalone comment line covers
-    // the following line. allow-file covers the whole file.
-    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
-    let mut line_allows: BTreeSet<(u32, &str)> = BTreeSet::new();
-    let mut file_allows: BTreeSet<&str> = BTreeSet::new();
-    for d in &lexed.directives {
-        if let Some(diag) = vet_directive(path, d) {
+    // Credit table: (directive index, rule) -> suppression count.
+    let mut credit: BTreeMap<(usize, &str), u64> = BTreeMap::new();
+    for (di, dir) in facts.dirs.iter().enumerate() {
+        for rule in &dir.rules {
+            credit.insert((di, rule.as_str()), 0);
+        }
+    }
+
+    let all = facts
+        .raw
+        .iter()
+        .map(|r| Diagnostic {
+            path: path.to_string(),
+            line: r.line,
+            rule: r.rule,
+            message: r.message.clone(),
+        })
+        .chain(ws_diags);
+    for diag in all {
+        if meta_rules().contains(&diag.rule) {
             report.diagnostics.push(diag);
             continue;
         }
-        for rule in &d.rules {
-            if d.file_scope {
-                file_allows.insert(rule.as_str());
-            } else {
-                line_allows.insert((d.line, rule.as_str()));
-                if !token_lines.contains(&d.line) {
-                    line_allows.insert((d.line + 1, rule.as_str()));
-                }
+        match covering_directive(&facts.dirs, diag.line, diag.rule) {
+            Some(di) => {
+                *credit.entry((di, diag.rule)).or_default() += 1;
+                *report.allowed.entry(diag.rule).or_default() += 1;
             }
+            None => report.diagnostics.push(diag),
         }
     }
 
-    let excluded = test_code_ranges(&lexed.tokens);
-    let mut raw: Vec<Diagnostic> = Vec::new();
-    for (i, t) in lexed.tokens.iter().enumerate() {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        if excluded.iter().any(|r| r.contains(&i)) {
-            continue;
-        }
-        if let Some((rule, message)) = match_rule(&lexed.tokens, i) {
-            if deny.contains(rule) {
-                raw.push(Diagnostic {
-                    path: path.to_string(),
-                    line: t.line,
-                    rule,
-                    message,
-                });
-            }
+    for (di, dir) in facts.dirs.iter().enumerate() {
+        let dead: Vec<&str> = dir
+            .rules
+            .iter()
+            .map(String::as_str)
+            .filter(|rule| credit.get(&(di, *rule)).copied().unwrap_or(0) == 0)
+            .collect();
+        if !dead.is_empty() {
+            report.diagnostics.push(Diagnostic {
+                path: path.to_string(),
+                line: dir.line,
+                rule: "stale-allow",
+                message: format!(
+                    "allow({}) suppresses no diagnostics; delete it (the suppression set only \
+                     ratchets down)",
+                    dead.join(", ")
+                ),
+            });
         }
     }
 
-    for diag in raw {
-        if file_allows.contains(diag.rule) || line_allows.contains(&(diag.line, diag.rule)) {
-            *report.allowed.entry(diag.rule).or_default() += 1;
-        } else {
-            report.diagnostics.push(diag);
-        }
-    }
-    report.diagnostics.sort_by_key(|d| d.line);
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     report
 }
 
-/// Checks a directive is well-formed: parseable, known rules, non-empty
-/// reason. Returns the diagnostic to emit if not.
-fn vet_directive(path: &str, d: &Directive) -> Option<Diagnostic> {
-    let problem = if d.malformed {
-        "malformed directive (expected `tm-lint: allow(<rules>) -- <reason>`)".to_string()
-    } else if d.reason.is_empty() {
-        "allow directive without a written reason (`-- <why>` is mandatory)".to_string()
-    } else if let Some(unknown) = d
-        .rules
-        .iter()
-        .find(|r| !rule_names().contains(&r.as_str()) || *r == "bad-directive")
-    {
-        format!("allow directive names unknown rule `{unknown}`")
-    } else if d.rules.is_empty() {
-        "allow directive lists no rules".to_string()
-    } else {
-        return None;
-    };
-    Some(Diagnostic {
-        path: path.to_string(),
-        line: d.line,
-        rule: "bad-directive",
-        message: problem,
-    })
-}
-
-/// Matches the token at `i` (an ident) against every rule. Returns the
-/// first rule hit and its message.
-fn match_rule(toks: &[Tok], i: usize) -> Option<(&'static str, String)> {
-    let t = &toks[i];
-    let text = t.text.as_str();
-    let prev = |n: usize| i.checked_sub(n).map(|j| toks[j].text.as_str());
-    let next = |n: usize| toks.get(i + n).map(|t| t.text.as_str());
-
-    match text {
-        "Instant" | "SystemTime" | "UNIX_EPOCH" => Some((
-            "wall-clock",
-            format!("`{text}` reads the wall clock; sim-visible time must come from SimTime"),
-        )),
-        "HashMap" | "HashSet" => Some((
-            "unordered-collections",
-            format!("`{text}` iterates in hash order; use BTreeMap/BTreeSet (or a Vec) so state is ordered"),
-        )),
-        "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy" | "getrandom" => Some((
-            "unseeded-rng",
-            format!("`{text}` draws entropy outside the seeded tm-rand root; fork from the scenario RNG"),
-        )),
-        "Mutex" | "RwLock" | "Condvar" | "JoinHandle" | "thread_local" | "mpsc" => Some((
-            "threads",
-            format!("`{text}` implies concurrency; sim crates are single-threaded by contract"),
-        )),
-        "thread" if next(1) == Some("::") || prev(1) == Some("::") => Some((
-            "threads",
-            "`std::thread` implies concurrency; sim crates are single-threaded by contract".into(),
-        )),
-        "partial_cmp" => Some((
-            "float-ordering",
-            "`partial_cmp` is NaN-partial; event-ordering paths need `total_cmp` or integer keys".into(),
-        )),
-        "unwrap" | "expect" if prev(1) == Some(".") && next(1) == Some("(") => Some((
-            "unwrap-in-lib",
-            format!("`.{text}()` panics on scenario-reachable input; return a Result or use let-else/debug_assert"),
-        )),
-        _ => None,
-    }
-}
-
-/// Token index ranges covered by `#[cfg(test)]` (or any `cfg(…)` attribute
-/// mentioning `test`, e.g. `cfg(all(test, …))`), including the attribute
-/// itself and the brace-delimited item that follows it.
-fn test_code_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
-            // Scan the attribute body up to its closing `]`.
-            let attr_start = i;
-            let mut j = i + 2;
-            let mut depth = 1u32;
-            let mut is_cfg = false;
-            let mut mentions_test = false;
-            while j < toks.len() && depth > 0 {
-                match toks[j].text.as_str() {
-                    "[" => depth += 1,
-                    "]" => depth -= 1,
-                    "cfg" if j == attr_start + 2 => is_cfg = true,
-                    "test" => mentions_test = true,
-                    _ => {}
-                }
-                j += 1;
-            }
-            if is_cfg && mentions_test {
-                // Skip any further attributes, then the braced item.
-                let mut k = j;
-                while k < toks.len() && toks[k].text == "#" {
-                    let mut d = 0u32;
-                    k += 1;
-                    if k < toks.len() && toks[k].text == "[" {
-                        loop {
-                            match toks.get(k).map(|t| t.text.as_str()) {
-                                Some("[") => d += 1,
-                                Some("]") => {
-                                    d -= 1;
-                                    if d == 0 {
-                                        k += 1;
-                                        break;
-                                    }
-                                }
-                                None => break,
-                                _ => {}
-                            }
-                            k += 1;
-                        }
-                    }
-                }
-                while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
-                    k += 1;
-                }
-                if toks.get(k).map(|t| t.text.as_str()) == Some("{") {
-                    let mut braces = 1u32;
-                    k += 1;
-                    while k < toks.len() && braces > 0 {
-                        match toks[k].text.as_str() {
-                            "{" => braces += 1,
-                            "}" => braces -= 1,
-                            _ => {}
-                        }
-                        k += 1;
-                    }
-                }
-                out.push(attr_start..k);
-                i = k;
-                continue;
-            }
-            i = j;
-            continue;
-        }
-        i += 1;
-    }
-    out
+/// The first directive covering `(line, rule)`: line-scoped directives
+/// win over `allow-file`, earlier directives over later ones.
+fn covering_directive(dirs: &[DirFact], line: u32, rule: &str) -> Option<usize> {
+    let hit = |d: &DirFact| d.rules.iter().any(|r| r == rule);
+    dirs.iter()
+        .position(|d| !d.file_scope && hit(d) && d.covered.contains(&line))
+        .or_else(|| dirs.iter().position(|d| d.file_scope && hit(d)))
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::lexer::lex;
+    use std::collections::BTreeSet;
 
-    fn all_rules() -> Vec<String> {
-        rule_names().iter().map(|s| s.to_string()).collect()
-    }
+    use super::*;
+    use crate::check_source;
 
     fn run(src: &str) -> FileReport {
-        check("mem.rs", &lex(src), &all_rules())
+        let deny: BTreeSet<&str> = rule_names()
+            .iter()
+            .copied()
+            .filter(|r| !meta_rules().contains(r))
+            .collect();
+        check_source("mem.rs", src, &deny)
     }
 
     #[test]
-    fn each_rule_fires() {
+    fn each_token_rule_fires() {
         let cases = [
             ("let t = Instant::now();", "wall-clock"),
             ("use std::time::SystemTime;", "wall-clock"),
@@ -352,18 +265,48 @@ mod tests {
 
     #[test]
     fn reasonless_or_unknown_allows_are_diagnostics() {
-        let src = "// tm-lint: allow(wall-clock)\n// tm-lint: allow(no-such-rule) -- why\n// tm-lint: allow(bad-directive) -- cheeky";
+        let src = "// tm-lint: allow(wall-clock)\n// tm-lint: allow(no-such-rule) -- why\n// tm-lint: allow(bad-directive) -- cheeky\n// tm-lint: allow(stale-allow) -- also cheeky";
         let rep = run(src);
         let rules: Vec<_> = rep.diagnostics.iter().map(|d| d.rule).collect();
-        assert_eq!(rules, vec!["bad-directive"; 3], "{:?}", rep.diagnostics);
+        assert_eq!(rules, vec!["bad-directive"; 4], "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn stale_allow_fires_when_nothing_is_suppressed() {
+        let src =
+            "// tm-lint: allow(wall-clock) -- stale: nothing below reads the clock\nlet x = 1;";
+        let rep = run(src);
+        assert_eq!(rep.diagnostics.len(), 1, "{:?}", rep.diagnostics);
+        assert_eq!(rep.diagnostics[0].rule, "stale-allow");
+        assert_eq!(rep.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn stale_allow_is_per_rule_within_a_directive() {
+        let src =
+            "// tm-lint: allow(wall-clock, threads) -- only one is real\nlet t = Instant::now();";
+        let rep = run(src);
+        assert_eq!(rep.diagnostics.len(), 1, "{:?}", rep.diagnostics);
+        assert_eq!(rep.diagnostics[0].rule, "stale-allow");
+        assert!(rep.diagnostics[0].message.contains("threads"));
+        assert!(!rep.diagnostics[0].message.contains("wall-clock,"));
+        assert_eq!(rep.allowed.get("wall-clock"), Some(&1));
+    }
+
+    #[test]
+    fn live_allows_do_not_trip_the_ratchet() {
+        let src = "// tm-lint: allow-file(wall-clock) -- timing module\nfn a() { Instant::now(); }";
+        let rep = run(src);
+        assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
     }
 
     #[test]
     fn disabled_rules_do_not_fire() {
-        let rep = check(
+        let deny: BTreeSet<&str> = ["unordered-collections"].into();
+        let rep = check_source(
             "mem.rs",
-            &lex("let t = Instant::now(); let m = HashMap::new();"),
-            &["unordered-collections".to_string()],
+            "let t = Instant::now(); let m = HashMap::new();",
+            &deny,
         );
         let rules: Vec<_> = rep.diagnostics.iter().map(|d| d.rule).collect();
         assert_eq!(rules, vec!["unordered-collections"]);

@@ -1,0 +1,28 @@
+//! Wall-clock timing for the lint engine itself.
+//!
+//! Pass wall times feed the `TM_LINT_JSON` summary (and from there the
+//! perf-trajectory record in ci.sh); they never touch anything
+//! sim-visible, which is why this module may read the clock.
+// tm-lint: allow-file(wall-clock) -- pass timings feed TM_LINT_JSON only; the linter has no sim-visible state
+
+use std::time::Instant;
+
+/// A started stopwatch.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Microseconds since `start()`.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Milliseconds since `start()`.
+    pub fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}

@@ -1,0 +1,79 @@
+//! The incremental cache must be invisible: a warm run returns exactly
+//! the cold run's diagnostics, hits on every unchanged file, and
+//! re-analyzes a file the moment its content changes.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("tm-lint-cache-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("src")).expect("scratch dir");
+    fs::write(
+        root.join("tm-lint.toml"),
+        "[tier.sim-core]\npaths = [\"src\"]\ndeny = [\"wall-clock\", \"unwrap-in-lib\", \"panic-reachability\"]\n",
+    )
+    .expect("config");
+    fs::write(
+        root.join("src/lib.rs"),
+        "pub fn run(v: &[u8], i: usize) -> u8 {\n    let t = Instant::now();\n    v[i]\n}\n",
+    )
+    .expect("source");
+    root
+}
+
+#[test]
+fn warm_run_hits_the_cache_and_repeats_the_cold_run_verbatim() {
+    let root = scratch_workspace("warm");
+    let cache = root.join("cache");
+
+    let cold = tm_lint::lint_workspace_with(&root, Some(&cache)).expect("cold run");
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, 1);
+    assert_eq!(cold.diagnostics.len(), 2, "wall-clock + reachable index");
+
+    let warm = tm_lint::lint_workspace_with(&root, Some(&cache)).expect("warm run");
+    assert_eq!(warm.cache_hits, 1, "unchanged file must hit");
+    assert_eq!(warm.cache_misses, 0);
+    let render = |r: &tm_lint::Report| -> Vec<String> {
+        r.diagnostics.iter().map(|d| d.render()).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        render(&cold),
+        render(&warm),
+        "cache changes nothing observable"
+    );
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn edits_and_config_changes_invalidate_cached_entries() {
+    let root = scratch_workspace("edit");
+    let cache = root.join("cache");
+
+    let first = tm_lint::lint_workspace_with(&root, Some(&cache)).expect("first run");
+    assert_eq!(first.diagnostics.len(), 2);
+
+    // Fix the file: the next run must re-analyze it, not replay stale facts.
+    fs::write(
+        root.join("src/lib.rs"),
+        "pub fn run(v: &[u8], i: usize) -> u8 {\n    assert!(i < v.len());\n    v[i]\n}\n",
+    )
+    .expect("edit");
+    let second = tm_lint::lint_workspace_with(&root, Some(&cache)).expect("second run");
+    assert_eq!(second.cache_hits, 0, "changed content must miss");
+    assert!(second.diagnostics.is_empty(), "{:?}", second.diagnostics);
+
+    // Tightening the config must invalidate everything via the fingerprint.
+    fs::write(
+        root.join("tm-lint.toml"),
+        "[tier.sim-core]\npaths = [\"src\"]\ndeny = [\"wall-clock\", \"unwrap-in-lib\", \"panic-reachability\", \"threads\"]\n",
+    )
+    .expect("reconfig");
+    let third = tm_lint::lint_workspace_with(&root, Some(&cache)).expect("third run");
+    assert_eq!(third.cache_hits, 0, "new config fingerprint must miss");
+
+    let _ = fs::remove_dir_all(&root);
+}

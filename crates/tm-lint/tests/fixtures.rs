@@ -103,6 +103,46 @@ fn cfg_test_code_is_exempt() {
 }
 
 #[test]
+fn seed_taint_fixture_separates_derivation_from_laundering() {
+    let report = check_fixture("seed_taint.rs");
+    assert_eq!(
+        report.diagnostics.len(),
+        2,
+        "two violations, four clean constructions"
+    );
+}
+
+#[test]
+fn panic_reach_fixture_only_flags_reachable_unguarded_sites() {
+    let report = check_fixture("panic_reach.rs");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.rule == "panic-reachability"),
+        "no other rule fires in this fixture"
+    );
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("orphan")),
+        "unreachable fns stay quiet"
+    );
+}
+
+#[test]
+fn telemetry_fixture_vets_literal_metric_names() {
+    check_fixture("telemetry.rs");
+}
+
+#[test]
+fn stale_allow_fixture_credits_live_allows_only() {
+    let report = check_fixture("stale_allow.rs");
+    assert_eq!(report.allowed.get("unwrap-in-lib"), Some(&1));
+}
+
+#[test]
 fn lexer_is_not_fooled_by_strings_comments_or_lookalikes() {
     let report = check_fixture("tricky_lex.rs");
     assert_eq!(report.diagnostics.len(), 1, "only the genuine violation");

@@ -1,0 +1,32 @@
+// Fixture: panic sites only matter on scenario-reachable paths. `run`
+// and `run_*` fns are entries; `helper` is reachable through `run`;
+// `orphan` is not reachable and its identical index stays quiet. The
+// guarded entry shows each accepted bound discipline.
+
+pub fn run(data: &[u8], n: usize, div: u64) -> u64 {
+    let byte = data[n]; //~ ERROR panic-reachability
+    let quotient = 100 / div; //~ ERROR panic-reachability
+    let narrowed = div as u32; //~ ERROR panic-reachability
+    helper(data, n) + quotient + u64::from(byte) + u64::from(narrowed)
+}
+
+fn helper(data: &[u8], n: usize) -> u64 {
+    u64::from(data[n + 1]) //~ ERROR panic-reachability
+}
+
+fn orphan(data: &[u8], n: usize) -> u8 {
+    data[n]
+}
+
+pub fn run_guarded(data: &[u8], n: usize, div: u64) -> u64 {
+    assert!(n < data.len(), "caller-checked bound");
+    assert!(div > 0, "caller-checked divisor");
+    let byte = data[n];
+    let quotient = u64::from(byte) / div;
+    let mut sum = 0u64;
+    for i in 0..data.len() {
+        sum += u64::from(data[i]);
+    }
+    let masked = (sum & 0xffff) as u16;
+    quotient + sum + u64::from(masked)
+}

@@ -1,0 +1,14 @@
+// Fixture: seed provenance. RNG constructions must be data-flow
+// reachable from the scenario seed; literal seeds and laundered
+// arguments are flagged, derivation chains are not.
+
+pub fn run(scenario_seed: u64) {
+    let direct = Rng::seed_from_u64(scenario_seed);
+    let derived = tm_rand::stream_seed(scenario_seed, 7);
+    let from_chain = Rng::seed_from_u64(derived);
+    let renamed_rng = scenario_seed ^ 0x9e37;
+    let via_name = Rng::from_state(renamed_rng);
+    let fixed = Rng::seed_from_u64(42); //~ ERROR seed-taint
+    let port = 8080;
+    let laundered = Rng::seed_from_u64(port); //~ ERROR seed-taint
+}

@@ -1,0 +1,9 @@
+// Fixture: the suppression ratchet. An allow that suppresses at least
+// one diagnostic is live and earns its keep; an allow that suppresses
+// nothing is itself an error, so the exception set only shrinks.
+
+pub fn ratchet(maybe: Option<u8>) {
+    let live = maybe.unwrap(); // tm-lint: allow(unwrap-in-lib) -- fixture: live allow earns credit
+    // tm-lint: allow(wall-clock) -- fixture: nothing below reads a clock //~ ERROR stale-allow
+    let quiet = 1u8;
+}

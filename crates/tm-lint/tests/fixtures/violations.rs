@@ -13,4 +13,12 @@ pub fn violations(maybe: Option<u8>, a: f64, b: f64) {
     let ord = a.partial_cmp(&b); //~ ERROR float-ordering
     let val = maybe.unwrap(); //~ ERROR unwrap-in-lib
     let other = maybe.expect("present"); //~ ERROR unwrap-in-lib
+    let fixed = Rng::seed_from_u64(7); //~ ERROR seed-taint
+    telemetry.counter_inc("wrong.namespace", 1); //~ ERROR telemetry-names
+    // tm-lint: allow(threads) -- fixture: suppresses nothing, so the ratchet fires //~ ERROR stale-allow
+    let quiet = 0u8;
+}
+
+pub fn run(v: &[u8], i: usize) -> u8 {
+    v[i] //~ ERROR panic-reachability
 }
