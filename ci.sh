@@ -54,14 +54,30 @@ cargo run -q --release --offline -p bench --bin experiments -- \
 grep -q 'failed=0' "$tmp/tm_topo_matrix.out"
 ! grep -q 'failed=[1-9]' "$tmp/tm_topo_matrix.out"
 
-# Perf trajectory: campaign wall-clock at both worker counts plus the
-# in-house bench medians. TM_BENCH_SAMPLES=3 keeps this a smoke run; the
-# artifact records the trajectory, it is not a rigorous benchmark.
+# High-load smoke cell: the 102,400-host flow-level throughput probe
+# (fat-tree-4, steady-2 demand, TOPOGUARD+). Guards the traffic engine
+# end to end — plan elaboration → arrival chains → detector-boundary
+# expansion → controller — and records the aggregation leverage. The
+# probe's stdout is a pure function of the seed; its speedup line is the
+# flow-level-vs-per-packet floor and must stay at least 50x.
+cargo run -q --release --offline -p bench --bin experiments -- \
+    load --probe-only >"$tmp/tm_load_probe.out" 2>"$tmp/tm_load_probe.err"
+grep -q 'flow-level speedup' "$tmp/tm_load_probe.out"
+probe_speedup=$(sed -n 's/.*flow-level speedup  *\([0-9]*\)x.*/\1/p' "$tmp/tm_load_probe.out")
+test "$probe_speedup" -ge 50
+
+# Perf trajectory: campaign wall-clock at both worker counts, the
+# traffic-throughput probe, plus the in-house bench medians.
+# TM_BENCH_SAMPLES=3 keeps this a smoke run; the artifact records the
+# trajectory, it is not a rigorous benchmark.
 TM_BENCH_SAMPLES=3 cargo bench --offline -p bench >"$tmp/tm_bench.out"
 {
     printf '{\n  "campaign_wall": [\n'
     cat "$tmp/tm_campaign_w1.err" "$tmp/tm_campaign_w2.err" \
         | grep '^BENCH_JSON ' | sed -e 's/^BENCH_JSON /    /' -e 's/$/,/' -e '$s/,$//'
+    printf '  ],\n  "traffic_throughput": [\n'
+    grep '^BENCH_JSON ' "$tmp/tm_load_probe.err" \
+        | sed -e 's/^BENCH_JSON /    /' -e 's/$/,/' -e '$s/,$//'
     printf '  ],\n  "bench": [\n'
     grep '^BENCH_JSON ' "$tmp/tm_bench.out" \
         | sed -e 's/^BENCH_JSON /    /' -e 's/$/,/' -e '$s/,$//'

@@ -53,10 +53,14 @@ fn usage() -> ! {
               ablations ablation_lli ablation_amnesia ablation_timeout metrics all\n\
               campaign <scenario|smoke|faults|list> [--seeds N] [--workers N] [--confidence P]\n\
               scale [--seeds N] [--workers N]  (alias for `campaign scale`)\n\
+              load [--seeds N] [--workers N] [--probe-only]\n\
+                     (flow-level traffic campaign + 102,400-host throughput probe;\n\
+                      --probe-only skips the campaign)\n\
               matrix --topo <labels|families|default> [--attacks CSV] [--stacks CSV]\n\
                      [--seeds N] [--workers N] [--confidence P]\n\
                      (detection matrix on generated fabrics; families fat-tree, ring,\n\
-                      linear, core-edge expand to a small+large pair)"
+                      linear, core-edge, datacenter expand to a small+large pair;\n\
+                      datacenter tops out at 1000 switches)"
     );
     std::process::exit(2);
 }
@@ -74,6 +78,10 @@ fn expand_topo_spec(spec: &str) -> Vec<String> {
             "ring" => vec!["ring-4x2", "ring-8x2"],
             "linear" => vec!["linear-4x2", "linear-8x2"],
             "core-edge" => vec!["core-edge-2x12x2", "core-edge-4x24x2"],
+            // The 1k-switch frontier: hostless cores, single-host edges
+            // (role synthesis keeps the paper's geometry — see
+            // `tm_core::fabric`). Expect minutes per cell, not seconds.
+            "datacenter" => vec!["core-edge-4x96x1", "core-edge-8x992x1"],
             other => vec![other],
         })
         .map(String::from)
@@ -272,6 +280,82 @@ fn campaign_cmd(args: &[String]) {
     }
 }
 
+/// `load`: the flow-level traffic campaign (hosts × demand × stack on the
+/// fat-tree-4 fabric) followed by the 102,400-host throughput probe.
+/// `--probe-only` skips the campaign — the CI smoke path. Same
+/// stdout/stderr split as [`campaign_cmd`]: everything on stdout is a
+/// pure function of the seed (diffable across `--workers`); the wall
+/// clock goes to stderr as the `traffic-throughput` `BENCH_JSON` record.
+fn load_cmd(args: &[String]) {
+    let probe_only = args.iter().any(|a| a == "--probe-only");
+    let filtered: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--probe-only")
+        .cloned()
+        .collect();
+    if !probe_only {
+        let mut forwarded = vec!["load".to_string()];
+        forwarded.extend_from_slice(&filtered);
+        campaign_cmd(&forwarded);
+    }
+    let common = CommonArgs::parse(&filtered, &["--seeds", "--workers", "--confidence"])
+        .unwrap_or_else(|e| {
+            eprintln!("load: {e}");
+            usage()
+        });
+    throughput_probe(common.seed);
+}
+
+/// Runs the ≥100k-host flow-level scenario end-to-end and reports the
+/// aggregation leverage: how far the flow-level wall clock sits below a
+/// per-packet extrapolation. The extrapolation charges one engine event
+/// per aggregated packet — a deliberate *underestimate* of per-packet
+/// simulation (every real packet crosses several hops), so the printed
+/// speedup is a floor.
+fn throughput_probe(seed: u64) {
+    use tm_core::{DefenseStack, LoadScenario, TrafficLoad};
+    use tm_topo::TopoKind;
+
+    let scenario = LoadScenario::new(
+        TopoKind::FatTree { k: 4 },
+        DefenseStack::TopoGuardPlus,
+        TrafficLoad::steady(12_800, 2.0),
+        seed,
+    );
+    // tm-lint: allow(wall-clock) -- the probe's wall time is the perf-trajectory record; stderr only, never in the deterministic report
+    let start = std::time::Instant::now();
+    let out = tm_core::load::run(&scenario);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Deterministic: counters are a pure function of the seed, and the
+    // speedup is a ratio of counters (wall cancels out of the model).
+    let speedup =
+        (out.events_processed + out.packets_aggregated) as f64 / out.events_processed as f64;
+    println!("traffic throughput probe: fat-tree-4, 12800 hosts/edge, steady-2, topoguard-plus, seed {seed:#x}");
+    println!("  virtual hosts       {}", out.hosts_virtual);
+    println!("  flows offered       {}", out.flows_offered);
+    println!("  packets aggregated  {}", out.packets_aggregated);
+    println!("  packets expanded    {}", out.packets_expanded);
+    println!("  packet-ins          {}", out.packet_ins);
+    println!("  events processed    {}", out.events_processed);
+    println!("  alerts              {}", out.alerts_total);
+    println!("  flow-level speedup  {speedup:.0}x vs per-packet extrapolation");
+
+    let record = JsonValue::object(vec![
+        ("suite", "traffic-throughput".into()),
+        ("hosts", out.hosts_virtual.into()),
+        ("flows_offered", out.flows_offered.into()),
+        ("packets_aggregated", out.packets_aggregated.into()),
+        ("packets_expanded", out.packets_expanded.into()),
+        ("packet_ins", out.packet_ins.into()),
+        ("events_processed", out.events_processed.into()),
+        ("wall_ms", wall_ms.into()),
+        ("extrapolated_wall_ms", (wall_ms * speedup).into()),
+        ("speedup", speedup.into()),
+    ]);
+    eprintln!("BENCH_JSON {}", record.to_compact());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(id) = args.first() else { usage() };
@@ -290,6 +374,10 @@ fn main() {
         let mut forwarded = vec!["scale".to_string()];
         forwarded.extend_from_slice(&args[1..]);
         campaign_cmd(&forwarded);
+        return;
+    }
+    if id == "load" {
+        load_cmd(&args[1..]);
         return;
     }
 

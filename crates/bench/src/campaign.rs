@@ -14,6 +14,7 @@ use tm_campaign::{Axis, CampaignReport, Metrics, Registry, Scenario};
 use tm_core::floodsc::{self, FloodScenario};
 use tm_core::hijack::{self, HijackScenario};
 use tm_core::linkfab::{self, LinkFabScenario, RelayMode};
+use tm_core::load::{self, LoadScenario, TrafficLoad};
 use tm_core::robustness::{self, FaultProfile, RobustnessScenario};
 use tm_core::scale::{self, ScaleScenario};
 use tm_core::DefenseStack;
@@ -64,6 +65,29 @@ const KNOWN_STACKS: [&str; 6] = [
     "topoguard-plus",
     "tg-plus-binding",
 ];
+
+/// The demand labels the `load` campaign's cells understand:
+/// `steady-<rate>` / `bursty-<rate>` with `<rate>` in flows/host/s.
+/// Unknown labels fall back to a light steady trickle so a typo degrades
+/// to a near-idle cell instead of a panic.
+fn parse_demand(label: &str) -> (&'static str, f64) {
+    let (pattern, rate) = match label.rsplit_once('-') {
+        Some((p, r)) => (p, r.parse().unwrap_or(0.1)),
+        None => (label, 0.1),
+    };
+    match pattern {
+        "bursty" => ("bursty", rate),
+        _ => ("steady", rate),
+    }
+}
+
+fn parse_load(hosts: &str, demand: &str) -> TrafficLoad {
+    let hosts: u32 = hosts.parse().unwrap_or(64);
+    match parse_demand(demand) {
+        ("bursty", rate) => TrafficLoad::bursty(hosts, rate),
+        (_, rate) => TrafficLoad::steady(hosts, rate),
+    }
+}
 
 fn parse_stack(name: &str) -> DefenseStack {
     match name {
@@ -477,6 +501,42 @@ pub fn registry() -> Registry {
         },
     ));
 
+    add(Scenario::new(
+        "load",
+        "Flow-level traffic soak on the fat-tree-4 fabric: hosts/edge x demand x stack, 6 simulated seconds (hosts=12800 is the 102,400-host cell)",
+        vec![
+            // Per-edge virtual hosts; the fabric has 8 edges, so the axis
+            // spans 6,400 -> 102,400 total hosts. fat-tree-8 is deliberately
+            // absent: its ARP floods Packet-In at every one of 80 switches,
+            // ~10x the wall per host for the same detector coverage.
+            Axis::new("hosts", &["800", "3200", "12800"]),
+            Axis::new("demand", &["steady-0.5", "bursty-2"]),
+            Axis::new("stack", &["none", "topoguard-plus"]),
+        ],
+        |point, seed| {
+            let traffic = parse_load(
+                point.get("hosts").unwrap_or("800"),
+                point.get("demand").unwrap_or("steady-0.5"),
+            );
+            let stack = parse_stack(point.get("stack").unwrap_or("none"));
+            let outcome = load::run(&LoadScenario::new(
+                TopoKind::FatTree { k: 4 },
+                stack,
+                traffic,
+                seed,
+            ));
+            Metrics::new()
+                .with("hosts_virtual", outcome.hosts_virtual as f64)
+                .with("flows_offered", outcome.flows_offered as f64)
+                .with("packets_aggregated", outcome.packets_aggregated as f64)
+                .with("packets_expanded", outcome.packets_expanded as f64)
+                .with("aggregation_ratio", outcome.aggregation_ratio())
+                .with("packet_ins", outcome.packet_ins as f64)
+                .with("events_processed", outcome.events_processed as f64)
+                .with("alerts_total", outcome.alerts_total as f64)
+        },
+    ));
+
     match fabric_matrix_scenario(
         &FABRIC_MATRIX_TOPOS,
         &FABRIC_MATRIX_DEFAULT_ATTACKS,
@@ -601,6 +661,7 @@ mod tests {
             "cmm-under-flaps",
             "discovery-under-loss",
             "scale",
+            "load",
             "fabric-matrix",
         ] {
             assert!(r.get(name).is_some(), "missing scenario {name}");

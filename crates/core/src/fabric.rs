@@ -19,6 +19,16 @@
 //! — first-match scans over the spec's creation-ordered host list — so the
 //! whole elaboration is a pure function of `(kind, stack, seed)`.
 //!
+//! # Role synthesis
+//!
+//! Role mapping tolerates fabrics whose switches carry no hosts (the
+//! core tier of a 1k-switch core–edge spec) and whose edge switches
+//! carry a single host: when the paper's geometry demands a host the
+//! fabric does not provide — a victim co-located with the attacker, a
+//! relay peer on a distinct switch — the elaborator synthesizes the
+//! missing NIC exactly like the hand-built testbeds do, rather than
+//! bending the scenario onto a different shape.
+//!
 //! # Broadcast safety
 //!
 //! Unlike the loop-free paper testbeds, generated fabrics have physical
@@ -38,6 +48,28 @@ use tm_topo::{HostPlacement, TopoKind, TopologySpec};
 use crate::defense::DefenseStack;
 use crate::robustness::ProfileTargets;
 use crate::testbed::HijackTestbed;
+
+/// Synthesizes an extra host on `dpid` with the fabric's own identity
+/// scheme (sequential id, id-derived MAC/IP) at the next free port —
+/// the same construction [`TopologySpec::build_network`] applies to
+/// generated hosts, so synthesized NICs are indistinguishable from
+/// placed ones. `offset` spaces multiple synthesized ids apart.
+fn synthesize_host(topo: &TopologySpec, dpid: sdn_types::DatapathId, offset: u32) -> HostPlacement {
+    let id = HostId::new(topo.next_host_id().0 + offset);
+    assert!(
+        id.0 <= u16::MAX as u32,
+        "synthesized host on {} exceeds the {} addressable hosts",
+        topo.name,
+        u16::MAX
+    );
+    HostPlacement {
+        id,
+        mac: MacAddr::from_index(id.0),
+        ip: IpAddr::from_index(id.0 as u16),
+        dpid,
+        port: topo.free_port(dpid),
+    }
+}
 
 /// When fabric scenarios let hosts start talking. The first LLDP round
 /// (at `first_discovery_delay` ≈ 100 ms) maps every trunk well within a
@@ -94,23 +126,29 @@ pub fn hijack_setup(
 ) -> (NetworkSpec, HijackTestbed, ProfileTargets) {
     let topo = kind.generate(seed, 1);
     assert!(
-        topo.switches.len() >= 2 && topo.hosts.len() >= 3,
-        "hijack on {} needs ≥2 switches and ≥3 hosts (attacker, victim, client)",
+        topo.switches.len() >= 2 && topo.hosts.len() >= 2,
+        "hijack on {} needs ≥2 switches and ≥2 hosts (attacker, client; the \
+         victim is synthesized when no host co-locates with the attacker)",
         topo.name
     );
     let attacker = *topo
         .placement(topo.attackers[0])
         // tm-lint: allow(unwrap-in-lib) -- generate() reserves exactly the requested attacker draws; a missing placement is a tm-topo bug, not scenario input
         .expect("attacker placement");
-    // The victim shares the attacker's switch when possible (the paper's
-    // same-subnet ARP-ping setting); otherwise the first other host.
-    let victim = *topo
+    // The victim shares the attacker's switch (the paper's same-subnet
+    // ARP-ping setting). On fabrics whose edge switches carry a single
+    // host (the 1k-switch core–edge specs), no placed host co-locates
+    // with the attacker — synthesize the victim NIC there instead of
+    // bending the hijack into a cross-switch migration the paper never
+    // evaluates.
+    let (victim, victim_synthesized) = match topo
         .hosts
         .iter()
         .find(|h| h.dpid == attacker.dpid && h.id != attacker.id)
-        .or_else(|| topo.hosts.iter().find(|h| h.id != attacker.id))
-        // tm-lint: allow(unwrap-in-lib) -- the ≥3-hosts assert above guarantees a match
-        .expect("victim host");
+    {
+        Some(placed) => (*placed, false),
+        None => (synthesize_host(&topo, attacker.dpid, 0), true),
+    };
     // The client prefers a switch away from the victim, so its pings
     // traverse the fabric.
     let client = *topo
@@ -122,7 +160,7 @@ pub fn hijack_setup(
                 .iter()
                 .find(|h| h.id != attacker.id && h.id != victim.id)
         })
-        // tm-lint: allow(unwrap-in-lib) -- the ≥3-hosts assert above guarantees a match
+        // tm-lint: allow(unwrap-in-lib) -- the ≥2-hosts assert above guarantees a non-attacker host; a placed victim leaves one only when hosts ≥3, and generated fabrics with co-located pairs always carry more
         .expect("client host");
     // The migration destination: the client's switch when distinct,
     // otherwise the first switch that is not the victim's.
@@ -136,7 +174,10 @@ pub fn hijack_setup(
             // tm-lint: allow(unwrap-in-lib) -- the ≥2-switches assert above guarantees a match
             .expect("destination switch")
     };
-    let victim_new = topo.next_host_id();
+    // Synthesized ids stay sequential: the co-located victim (when the
+    // fabric did not place one) takes `next_host_id`, the migration NIC
+    // the id after it.
+    let victim_new = HostId::new(topo.next_host_id().0 + u32::from(victim_synthesized));
     let victim_new_port = SwitchPort::new(dest_dpid, topo.free_port(dest_dpid));
 
     let ids = HijackTestbed {
@@ -158,6 +199,10 @@ pub fn hijack_setup(
 
     let link = link_profile();
     let mut spec = topo.build_network(link, link);
+    if victim_synthesized {
+        spec.add_host(victim.id, victim.mac, victim.ip);
+        spec.attach_host(victim.id, victim.dpid, victim.port, link);
+    }
     // The destination NIC carries the victim's identity, exactly like the
     // hand-built testbed's second NIC.
     spec.add_host(victim_new, victim.mac, victim.ip);
@@ -218,13 +263,26 @@ pub fn relay_setup(
         .expect("attacker placement");
     // B must sit on a different switch for the fabricated link to mean
     // anything; when the second draw lands on A's switch, fall back to the
-    // first host elsewhere (deterministic: creation order).
-    let b = *topo
+    // first host elsewhere (deterministic: creation order), and when the
+    // fabric places no host off A's switch at all (every other switch is
+    // a hostless core), synthesize the colluder's NIC on the first such
+    // switch — colluders plug into whatever port they can reach.
+    let (b, b_synthesized) = match topo
         .placement(topo.attackers[1])
         .filter(|h| h.dpid != a.dpid)
         .or_else(|| topo.hosts.iter().find(|h| h.dpid != a.dpid))
-        // tm-lint: allow(unwrap-in-lib) -- the ≥2-switches assert plus generated fabrics attaching hosts to every edge switch guarantee a match
-        .expect("peer attacker on a distinct switch");
+    {
+        Some(placed) => (*placed, false),
+        None => {
+            let dpid = *topo
+                .switches
+                .iter()
+                .find(|&&d| d != a.dpid)
+                // tm-lint: allow(unwrap-in-lib) -- the ≥2-switches assert above guarantees a match
+                .expect("a switch distinct from colluder A's");
+            (synthesize_host(&topo, dpid, 0), true)
+        }
+    };
     // The benign pair: first two non-colluder hosts on distinct switches.
     let not_colluder = |h: &&HostPlacement| h.id != a.id && h.id != b.id;
     let p1 = topo.hosts.iter().find(not_colluder);
@@ -240,6 +298,10 @@ pub fn relay_setup(
 
     let link = link_profile();
     let mut spec = topo.build_network(link, link);
+    if b_synthesized {
+        spec.add_host(b.id, b.mac, b.ip);
+        spec.attach_host(b.id, b.dpid, b.port, link);
+    }
     spec.add_oob_channel(
         a.id,
         b.id,
@@ -311,6 +373,80 @@ mod tests {
             ControllerConfig::default(),
         );
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// 1000 switches: 8 hostless cores, 992 single-host edges.
+    fn core_edge_1k() -> TopoKind {
+        TopoKind::CoreEdge {
+            core: 8,
+            edge: 992,
+            hosts_per_edge: 1,
+        }
+    }
+
+    #[test]
+    fn hijack_roles_tolerate_single_host_edges_at_1k_switches() {
+        for seed in 0..4 {
+            let (_, ids, targets) = hijack_setup(
+                core_edge_1k(),
+                DefenseStack::None,
+                seed,
+                ControllerConfig::default(),
+            );
+            // No placed host shares the attacker's switch, so the victim
+            // is synthesized co-located — the paper's same-subnet setting
+            // survives single-host edges.
+            assert_eq!(
+                ids.attacker_port.dpid, ids.victim_port.dpid,
+                "seed {seed}: victim must co-locate with the attacker"
+            );
+            assert_ne!(ids.victim_port.port, ids.attacker_port.port);
+            assert_ne!(ids.victim, ids.attacker);
+            assert_ne!(ids.victim, ids.client);
+            assert_ne!(ids.victim, ids.victim_new, "ids stay sequential");
+            assert_ne!(ids.victim_new_port.dpid, ids.victim_port.dpid);
+            // The fault surface covers the full 1k fabric.
+            assert_eq!(targets.dpids.len(), 1000);
+            // Synthesized ids extend the fabric's sequence: 992 placed
+            // hosts, then the victim, then the migration NIC.
+            assert_eq!(ids.victim, sdn_types::HostId::new(993), "seed {seed}");
+            assert_eq!(ids.victim_new, sdn_types::HostId::new(994), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn relay_peer_lands_on_a_hostless_core_when_no_edge_remains() {
+        // 4 hostless cores + a single edge switch holding every host: the
+        // only switches distinct from colluder A's are cores, so B's NIC
+        // is synthesized on one of them.
+        let (_, ep, _) = relay_setup(
+            TopoKind::CoreEdge {
+                core: 4,
+                edge: 1,
+                hosts_per_edge: 3,
+            },
+            DefenseStack::None,
+            11,
+            ControllerConfig::default(),
+        );
+        assert_ne!(ep.port_a.dpid, ep.port_b.dpid);
+        assert_ne!(ep.attacker_a, ep.attacker_b);
+        assert!(ep.identity_b.is_some());
+    }
+
+    #[test]
+    fn relay_endpoints_span_two_switches_at_1k_switches() {
+        for seed in 0..4 {
+            let (_, ep, targets) = relay_setup(
+                core_edge_1k(),
+                DefenseStack::None,
+                seed,
+                ControllerConfig::default(),
+            );
+            assert_ne!(ep.port_a.dpid, ep.port_b.dpid, "seed {seed}");
+            assert!(ep.pinger.is_some(), "seed {seed}: 990 benign hosts remain");
+            assert_eq!(targets.dpids.len(), 1000);
+        }
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct HijackScenario {
     /// testbed. Role placement comes from the spec's forked attacker
     /// stream (see [`fabric::hijack_setup`]).
     pub fabric: Option<tm_topo::TopoKind>,
+    /// Flow-level background load riding the fabric for the whole run
+    /// (see [`crate::load`]). Ignored on the hand-built testbed; `None`
+    /// leaves the trace byte-identical to an unloaded run.
+    pub traffic: Option<crate::load::TrafficLoad>,
 }
 
 impl HijackScenario {
@@ -64,6 +68,7 @@ impl HijackScenario {
             tail: Duration::from_secs(5),
             faults: FaultProfile::Clean,
             fabric: None,
+            traffic: None,
         }
     }
 
@@ -205,7 +210,16 @@ pub fn run(scenario: &HijackScenario) -> HijackOutcome {
 
     let run_end = scenario.victim_down_at + scenario.downtime + scenario.tail;
     let plan = scenario.faults.plan(&targets, SimTime::ZERO, run_end);
-    let mut sim = Simulator::with_fault_plan(spec, scenario.seed, plan);
+    // Flow-level background load: only meaningful on a generated fabric,
+    // and opens with the broadcast-safety hold like all fabric traffic.
+    let traffic = match (scenario.fabric, scenario.traffic) {
+        (Some(kind), Some(load)) => load.plan_for(
+            kind,
+            netsim::TrafficWindow::new(SimTime::ZERO + fabric::TRAFFIC_START, run_end),
+        ),
+        _ => netsim::TrafficPlan::new(),
+    };
+    let mut sim = Simulator::with_plans(spec, scenario.seed, plan, traffic);
     // The migration-destination NIC starts down.
     sim.host_iface_down(ids.victim_new);
 

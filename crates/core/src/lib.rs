@@ -33,6 +33,7 @@ pub mod floodsc;
 pub mod hijack;
 pub mod induced;
 pub mod linkfab;
+pub mod load;
 pub mod matrix;
 pub mod robustness;
 pub mod scale;
@@ -43,6 +44,7 @@ pub use fabric::RelayEndpoints;
 pub use floodsc::{FloodOutcome, FloodScenario};
 pub use hijack::{HijackOutcome, HijackScenario};
 pub use linkfab::{FabTopology, LinkFabOutcome, LinkFabScenario, RelayMode};
-pub use matrix::{run_matrix, run_matrix_on, run_matrix_under, MatrixEntry};
+pub use load::{LoadOutcome, LoadPattern, LoadScenario, TrafficLoad};
+pub use matrix::{run_matrix, run_matrix_on, run_matrix_on_loaded, run_matrix_under, MatrixEntry};
 pub use robustness::{FaultProfile, ProfileTargets, RobustnessOutcome, RobustnessScenario};
 pub use scale::{ScaleOutcome, ScaleScenario};

@@ -88,6 +88,11 @@ pub struct LinkFabScenario {
     /// Network degradation active for the whole run ([`FaultProfile::Clean`]
     /// leaves the trace byte-identical to the pre-fault-layer simulator).
     pub faults: FaultProfile,
+    /// Flow-level background load riding the fabric for the whole run
+    /// (see [`crate::load`]). Only meaningful on
+    /// [`FabTopology::Fabric`] — ignored on the hand-built testbeds;
+    /// `None` leaves the trace byte-identical to an unloaded run.
+    pub traffic: Option<crate::load::TrafficLoad>,
 }
 
 impl LinkFabScenario {
@@ -104,6 +109,7 @@ impl LinkFabScenario {
             benign_traffic: true,
             profile: ControllerProfile::FLOODLIGHT,
             faults: FaultProfile::Clean,
+            traffic: None,
         }
     }
 
@@ -121,6 +127,7 @@ impl LinkFabScenario {
             benign_traffic: true,
             profile: ControllerProfile::FLOODLIGHT,
             faults: FaultProfile::Clean,
+            traffic: None,
         }
     }
 
@@ -351,7 +358,19 @@ fn build_sim(
     let plan = scenario
         .faults
         .plan(targets, SimTime::ZERO, SimTime::ZERO + scenario.run_for);
-    Simulator::with_fault_plan(spec, scenario.seed, plan)
+    // Flow-level background load: only meaningful on a generated fabric,
+    // and opens with the broadcast-safety hold like all fabric traffic.
+    let traffic = match (scenario.topology, scenario.traffic) {
+        (FabTopology::Fabric(kind), Some(load)) => load.plan_for(
+            kind,
+            netsim::TrafficWindow::new(
+                SimTime::ZERO + fabric::TRAFFIC_START,
+                SimTime::ZERO + scenario.run_for,
+            ),
+        ),
+        _ => netsim::TrafficPlan::new(),
+    };
+    Simulator::with_plans(spec, scenario.seed, plan, traffic)
 }
 
 fn scenario_config(scenario: &LinkFabScenario) -> ControllerConfig {

@@ -156,6 +156,21 @@ pub(crate) enum Event {
         /// Index into the plan's flap table.
         index: usize,
     },
+    /// A flow-level traffic arrival for a traffic group. Arrivals carry
+    /// the group's on-phase epoch so a chain cancelled by an off-phase
+    /// toggle cannot fire stale events.
+    TrafficArrival {
+        /// Index into the installed traffic plan's group table.
+        group: u32,
+        /// The group on-phase epoch this arrival belongs to.
+        epoch: u32,
+    },
+    /// A traffic group's on/off phase edge (the first one, at the group's
+    /// window start, turns the group on).
+    TrafficPhase {
+        /// Index into the installed traffic plan's group table.
+        group: u32,
+    },
     /// An injected switch restart wipes the flow table.
     FaultSwitchRestart {
         /// Index into the plan's restart table.
@@ -187,6 +202,8 @@ impl Event {
             Event::FaultWindowEnd { .. } => "netsim.event.fault_window_end",
             Event::FaultLinkDown { .. } => "netsim.event.fault_link_down",
             Event::FaultLinkUp { .. } => "netsim.event.fault_link_up",
+            Event::TrafficArrival { .. } => "netsim.event.traffic_arrival",
+            Event::TrafficPhase { .. } => "netsim.event.traffic_phase",
             Event::FaultSwitchRestart { .. } => "netsim.event.fault_switch_restart",
             Event::FaultSwitchReconnect { .. } => "netsim.event.fault_switch_reconnect",
         }

@@ -22,6 +22,12 @@
 //!   spikes, link flaps, switch restarts, and control-channel congestion as
 //!   ordinary events in the deterministic queue — see
 //!   [`Simulator::with_fault_plan`].
+//! * A **flow-level traffic engine** ([`traffic`]): a declarative
+//!   [`TrafficPlan`] (from the `tm-traffic` crate) parks groups of virtual
+//!   hosts behind edge aggregation ports and advances their load as flow
+//!   records, expanding real packets only at detector-relevant boundaries
+//!   (first-ARP announcements, first-packet `PacketIn`s) — see
+//!   [`Simulator::with_traffic_plan`].
 //!
 //! Everything runs on a virtual nanosecond clock under a seeded RNG: the
 //! same seed always produces the same trace — including every injected
@@ -62,6 +68,7 @@ mod trace;
 pub mod apps;
 pub mod faults;
 pub mod pcap;
+pub mod traffic;
 
 pub use controller_api::{ControllerCtx, ControllerLogic, NullController, TimerId};
 pub use engine::PULSE_WINDOW;
@@ -71,3 +78,4 @@ pub use link::{BurstModel, LinkProfile};
 pub use sched::{default_sched_backend, sched_entry_bytes, set_global_sched_backend, SchedBackend};
 pub use sim::{NetworkSpec, Simulator};
 pub use trace::{Trace, TraceEvent};
+pub use traffic::{DemandProfile, TrafficPlan, TrafficWindow};

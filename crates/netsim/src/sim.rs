@@ -15,6 +15,7 @@ use crate::link::LinkProfile;
 use crate::sched::SchedBackend;
 use crate::switch::{self, Peer, SwitchState};
 use crate::trace::{Trace, TraceEvent};
+use crate::traffic::{self, TrafficPlan, TrafficState};
 
 /// An out-of-band channel between two colluding hosts (the paper's 802.11
 /// side link, Fig. 1), with propagation latency and per-packet
@@ -35,6 +36,9 @@ pub(crate) struct NetState {
     /// Runtime state of the installed fault plan (empty by default:
     /// every query is rejected without touching the RNG).
     pub(crate) faults: FaultState,
+    /// Runtime state of the installed traffic plan (empty by default:
+    /// no groups, no RNG streams, no flow cache).
+    pub(crate) traffic: TrafficState,
 }
 
 /// Declarative description of a network, consumed by [`Simulator::new`].
@@ -58,6 +62,7 @@ impl NetworkSpec {
                 oob_channels: Vec::new(),
                 trace: Trace::default(),
                 faults: FaultState::default(),
+                traffic: TrafficState::default(),
             },
             controller: Box::new(NullController),
             default_ctrl_latency: Duration::from_millis(1),
@@ -289,6 +294,60 @@ impl Simulator {
         let mut sim = Simulator::new(spec, seed);
         sim.install_fault_plan(plan);
         sim
+    }
+
+    /// Builds a simulator like [`Simulator::new`] and installs a traffic
+    /// plan: one aggregation host is attached per group (before the
+    /// handshake, so the controller's `FeaturesReply` already lists the
+    /// aggregation ports) and each group's arrival chain becomes ordinary
+    /// scheduled events drawing from per-group RNG streams (see
+    /// [`crate::traffic`]). An empty plan attaches nothing, schedules
+    /// nothing and draws nothing — the run is byte-identical to
+    /// `Simulator::new(spec, seed)`.
+    ///
+    /// # Panics
+    /// Panics if a group names a missing switch or an occupied port.
+    pub fn with_traffic_plan(spec: NetworkSpec, seed: u64, plan: TrafficPlan) -> Self {
+        Simulator::with_plans(spec, seed, FaultPlan::new(), plan)
+    }
+
+    /// Builds a simulator with both a fault plan and a traffic plan
+    /// installed (either may be empty; an empty plan changes nothing).
+    ///
+    /// # Panics
+    /// Panics if a traffic group names a missing switch or an occupied
+    /// port.
+    pub fn with_plans(
+        mut spec: NetworkSpec,
+        seed: u64,
+        faults: FaultPlan,
+        traffic: TrafficPlan,
+    ) -> Self {
+        traffic::prepare_spec(&mut spec, &traffic);
+        let mut sim = Simulator::new(spec, seed);
+        if !faults.is_empty() {
+            sim.install_fault_plan(faults);
+        }
+        sim.install_traffic_plan(seed, traffic);
+        sim
+    }
+
+    /// Schedules each traffic group's window-start phase event and stores
+    /// the runtime traffic state. An empty plan schedules zero events and
+    /// constructs zero RNG streams.
+    fn install_traffic_plan(&mut self, seed: u64, plan: TrafficPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        for (index, g) in plan.groups().iter().enumerate() {
+            self.core.schedule_at(
+                g.window.from,
+                Event::TrafficPhase {
+                    group: index as u32,
+                },
+            );
+        }
+        self.net.traffic = TrafficState::install(plan, seed);
     }
 
     /// Schedules the plan's window/flap/restart edges and stores the
@@ -636,6 +695,12 @@ impl Simulator {
                     ctx.complete_iface_up(d.identity);
                 }
                 self.with_host_app(host, |app, ctx| app.on_iface_up(ctx));
+            }
+            Event::TrafficArrival { group, epoch } => {
+                traffic::on_arrival(&mut self.core, &mut self.net, group, epoch);
+            }
+            Event::TrafficPhase { group } => {
+                traffic::on_phase(&mut self.core, &mut self.net, group);
             }
             Event::FaultWindowStart { kind, index } => {
                 self.core

@@ -10,8 +10,9 @@
 //!
 //! The namespace registry mirrors the crates that own sim-visible
 //! metrics: `netsim.*` (engine/links/switches/hosts/faults),
-//! `controller.*` (discovery, LLDP, host tracking), and the detector
-//! namespaces `topoguard.*` / `sphinx.*` / `ids.*`.
+//! `controller.*` (discovery, LLDP, host tracking), `traffic.*` (the
+//! flow-level traffic engine's offered/aggregated/expanded accounting),
+//! and the detector namespaces `topoguard.*` / `sphinx.*` / `ids.*`.
 
 use crate::lexer::TokKind;
 use crate::rules::Diagnostic;
@@ -31,7 +32,14 @@ const METHODS: &[&str] = &[
 ];
 
 /// Registered metric namespaces.
-const NAMESPACES: &[&str] = &["netsim", "controller", "topoguard", "sphinx", "ids"];
+const NAMESPACES: &[&str] = &[
+    "netsim",
+    "controller",
+    "topoguard",
+    "sphinx",
+    "ids",
+    "traffic",
+];
 
 /// The telemetry-name conformance pass.
 pub struct TelemetryNames;

@@ -1,0 +1,444 @@
+//! Flow-level traffic-plan configuration for the `netsim` traffic engine.
+//!
+//! A [`TrafficPlan`] is a declarative, seed-independent description of the
+//! background load a scenario should run under: [`TrafficGroup`]s of
+//! *virtual hosts* parked behind an edge-switch aggregation port, each with
+//! a [`DemandProfile`] (per-host flow rate, [`ArrivalProcess`], and an
+//! elephant/mice [`SizeMix`]). The dataplane advances this load as **flow
+//! records**, not packets: `netsim::traffic` expands a flow to real frames
+//! only at the detector-relevant boundaries (a virtual host's first ARP
+//! announcement, the first packet of a fresh edge-pair flow that
+//! table-misses into a `PacketIn`), so the controller and the defenses see
+//! realistic control-plane load while link/switch state advances in
+//! O(flows), not O(packets).
+//!
+//! The plan itself contains **no randomness and no state** — it is pure
+//! configuration, mirroring `tm-faults`. All draws happen in
+//! `netsim::traffic` from per-group RNG streams forked off the scenario
+//! seed via `tm_rand::stream_seed`, so the simulation's main RNG stream is
+//! never touched and an empty plan leaves the whole event trace
+//! byte-identical to a run without any plan (pinned by
+//! `crates/netsim/tests/traffic.rs`).
+//!
+//! The sampling transforms live here (on [`DemandProfile`] /
+//! [`ArrivalProcess`] / [`SizeMix`], generic over `tm_rand::Rng`) so their
+//! statistical properties are testable without spinning up a simulator —
+//! see `tests/prop.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use sdn_types::{DatapathId, PortNo, SimTime};
+//! use tm_traffic::{DemandProfile, TrafficPlan, TrafficWindow};
+//!
+//! let mut plan = TrafficPlan::new();
+//! let window = TrafficWindow::new(SimTime::from_secs(2), SimTime::from_secs(12));
+//! plan.group(
+//!     DatapathId::new(3),
+//!     PortNo::new(9),
+//!     10_000,
+//!     DemandProfile::datacenter(0.05),
+//!     window,
+//! );
+//! assert_eq!(plan.total_hosts(), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sdn_types::{DatapathId, Duration, PortNo, SimTime};
+use tm_rand::Rng;
+use tm_stats::{Distribution, Exponential};
+
+/// A half-open activity window `[from, until)` for a traffic group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrafficWindow {
+    /// When the group starts offering flows.
+    pub from: SimTime,
+    /// When the group stops offering flows.
+    pub until: SimTime,
+}
+
+impl TrafficWindow {
+    /// Creates a window.
+    ///
+    /// # Panics
+    /// Panics unless `from < until`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "traffic window must satisfy from < until");
+        TrafficWindow { from, until }
+    }
+}
+
+/// How flow arrivals are spread over a group's active window.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ArrivalProcess {
+    /// A homogeneous Poisson process: exponential inter-arrivals at the
+    /// group's aggregate rate for the whole window.
+    Poisson,
+    /// A two-state on/off burst process: the group alternates between an
+    /// *on* phase (Poisson arrivals at the aggregate rate) and a silent
+    /// *off* phase, with exponentially distributed phase durations.
+    OnOff {
+        /// Mean duration of an on (bursting) phase.
+        mean_on: Duration,
+        /// Mean duration of an off (silent) phase.
+        mean_off: Duration,
+    },
+}
+
+impl ArrivalProcess {
+    /// A validated on/off process.
+    ///
+    /// # Panics
+    /// Panics unless both means are positive.
+    pub fn on_off(mean_on: Duration, mean_off: Duration) -> Self {
+        assert!(
+            mean_on > Duration::ZERO && mean_off > Duration::ZERO,
+            "on/off phase means must be positive"
+        );
+        ArrivalProcess::OnOff { mean_on, mean_off }
+    }
+
+    /// Samples the duration of the next phase (`on = true` for a bursting
+    /// phase). A [`ArrivalProcess::Poisson`] process is always on; its
+    /// "phase" spans the whole window, returned here as a very long
+    /// duration so callers can treat both variants uniformly.
+    pub fn sample_phase<R: Rng + ?Sized>(&self, on: bool, rng: &mut R) -> Duration {
+        match *self {
+            ArrivalProcess::Poisson => Duration::from_secs(u32::MAX as u64),
+            ArrivalProcess::OnOff { mean_on, mean_off } => {
+                let mean = if on { mean_on } else { mean_off };
+                sample_exp(mean.as_millis_f64(), rng)
+            }
+        }
+    }
+}
+
+/// The elephant/mice flow-size mix: a small fraction of flows carry most
+/// of the bytes (the canonical datacenter heavy-tail, collapsed to two
+/// deterministic size classes so byte totals stay exactly reproducible).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SizeMix {
+    /// Probability that a flow is an elephant.
+    pub elephant_fraction: f64,
+    /// Bytes carried by an elephant flow.
+    pub elephant_bytes: u64,
+    /// Bytes carried by a mouse flow.
+    pub mice_bytes: u64,
+}
+
+impl SizeMix {
+    /// A validated mix.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ elephant_fraction ≤ 1` and both sizes are
+    /// nonzero.
+    pub fn new(elephant_fraction: f64, elephant_bytes: u64, mice_bytes: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&elephant_fraction),
+            "elephant fraction ({elephant_fraction}) must be in [0, 1]"
+        );
+        assert!(
+            elephant_bytes > 0 && mice_bytes > 0,
+            "flow sizes must be nonzero"
+        );
+        SizeMix {
+            elephant_fraction,
+            elephant_bytes,
+            mice_bytes,
+        }
+    }
+
+    /// The measured datacenter default: 5% elephants at 128 MiB (backup /
+    /// VM-image class transfers), mice at 20 KiB (RPC trains).
+    pub fn datacenter() -> Self {
+        SizeMix::new(0.05, 128 * 1024 * 1024, 20 * 1024)
+    }
+
+    /// Draws one flow size in bytes.
+    pub fn sample_bytes<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if rng.gen_bool(self.elephant_fraction) {
+            self.elephant_bytes
+        } else {
+            self.mice_bytes
+        }
+    }
+
+    /// The expected flow size in bytes under this mix.
+    pub fn mean_bytes(&self) -> f64 {
+        self.elephant_fraction * self.elephant_bytes as f64
+            + (1.0 - self.elephant_fraction) * self.mice_bytes as f64
+    }
+}
+
+/// Per-host demand: how often a virtual host opens a flow, how the
+/// arrivals are spread, and how big each flow is.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DemandProfile {
+    /// Mean new flows per host per second (aggregated over the group: a
+    /// group of `n` hosts offers `n ×` this rate while on).
+    pub flows_per_host_per_sec: f64,
+    /// The arrival process.
+    pub arrival: ArrivalProcess,
+    /// The flow-size mix.
+    pub mix: SizeMix,
+}
+
+impl DemandProfile {
+    /// A validated profile.
+    ///
+    /// # Panics
+    /// Panics unless the rate is positive and finite.
+    pub fn new(flows_per_host_per_sec: f64, arrival: ArrivalProcess, mix: SizeMix) -> Self {
+        assert!(
+            flows_per_host_per_sec > 0.0 && flows_per_host_per_sec.is_finite(),
+            "flow rate ({flows_per_host_per_sec}) must be positive and finite"
+        );
+        DemandProfile {
+            flows_per_host_per_sec,
+            arrival,
+            mix,
+        }
+    }
+
+    /// Steady Poisson demand at `rate` flows/host/s with the
+    /// [`SizeMix::datacenter`] mix.
+    pub fn datacenter(rate: f64) -> Self {
+        DemandProfile::new(rate, ArrivalProcess::Poisson, SizeMix::datacenter())
+    }
+
+    /// Bursty on/off demand at `rate` flows/host/s (while on) with the
+    /// [`SizeMix::datacenter`] mix: 500 ms bursts, 1.5 s silences.
+    pub fn bursty(rate: f64) -> Self {
+        DemandProfile::new(
+            rate,
+            ArrivalProcess::on_off(Duration::from_millis(500), Duration::from_millis(1500)),
+            SizeMix::datacenter(),
+        )
+    }
+
+    /// Draws the inter-arrival gap to the next flow for a group of `hosts`
+    /// virtual hosts (exponential at the aggregate rate). Always positive:
+    /// the gap is floored at one nanosecond so an arrival chain can never
+    /// stall on a zero sample.
+    ///
+    /// # Panics
+    /// Panics if `hosts` is zero.
+    pub fn sample_interarrival<R: Rng + ?Sized>(&self, hosts: u32, rng: &mut R) -> Duration {
+        assert!(hosts > 0, "a traffic group needs at least one host");
+        let aggregate_rate = self.flows_per_host_per_sec * f64::from(hosts);
+        sample_exp(1000.0 / aggregate_rate, rng)
+    }
+}
+
+/// Draws an exponential duration with the given mean (in milliseconds),
+/// floored at one nanosecond so downstream schedulers always advance.
+fn sample_exp<R: Rng + ?Sized>(mean_ms: f64, rng: &mut R) -> Duration {
+    let ms = Exponential::from_mean(mean_ms).sample(rng);
+    Duration::from_millis_f64(ms).max(Duration::from_nanos(1))
+}
+
+/// A group of virtual hosts parked behind one edge-switch aggregation
+/// port, offering flows under a shared demand profile.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TrafficGroup {
+    /// The edge switch the group's hosts sit behind.
+    pub edge: DatapathId,
+    /// The aggregation port on that switch. `netsim` attaches one real
+    /// aggregation host here; expanded frames enter and leave through it.
+    pub port: PortNo,
+    /// Number of virtual hosts in the group.
+    pub hosts: u32,
+    /// The group's demand.
+    pub profile: DemandProfile,
+    /// When the group offers flows.
+    pub window: TrafficWindow,
+}
+
+/// A complete, declarative traffic schedule for one simulation run.
+///
+/// Build with [`TrafficPlan::group`], then hand to
+/// `netsim::Simulator::with_traffic_plan`. An empty plan is exactly
+/// equivalent to no plan.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TrafficPlan {
+    groups: Vec<TrafficGroup>,
+}
+
+impl TrafficPlan {
+    /// An empty plan (offers nothing).
+    pub fn new() -> Self {
+        TrafficPlan::default()
+    }
+
+    /// Adds a group of `hosts` virtual hosts behind `(edge, port)`.
+    ///
+    /// # Panics
+    /// Panics if `hosts` is zero or the plan's total host count would
+    /// exceed the virtual addressing space (2²³ hosts: virtual IPs live
+    /// in 10.128.0.0/9).
+    pub fn group(
+        &mut self,
+        edge: DatapathId,
+        port: PortNo,
+        hosts: u32,
+        profile: DemandProfile,
+        window: TrafficWindow,
+    ) -> &mut Self {
+        assert!(hosts > 0, "a traffic group needs at least one host");
+        let total = self.total_hosts().saturating_add(u64::from(hosts));
+        assert!(
+            total <= 1 << 23,
+            "plan exceeds the virtual host space ({total} > 2^23)"
+        );
+        self.groups.push(TrafficGroup {
+            edge,
+            port,
+            hosts,
+            profile,
+            window,
+        });
+        self
+    }
+
+    /// The groups, in insertion order.
+    pub fn groups(&self) -> &[TrafficGroup] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the plan offers nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Total virtual hosts across all groups.
+    pub fn total_hosts(&self) -> u64 {
+        self.groups.iter().map(|g| u64::from(g.hosts)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_rand::StdRng;
+
+    fn win(from_s: u64, until_s: u64) -> TrafficWindow {
+        TrafficWindow::new(SimTime::from_secs(from_s), SimTime::from_secs(until_s))
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        let plan = TrafficPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.total_hosts(), 0);
+    }
+
+    #[test]
+    fn builder_accumulates_groups() {
+        let mut plan = TrafficPlan::new();
+        plan.group(
+            DatapathId::new(1),
+            PortNo::new(9),
+            100,
+            DemandProfile::datacenter(0.1),
+            win(2, 10),
+        )
+        .group(
+            DatapathId::new(2),
+            PortNo::new(9),
+            50,
+            DemandProfile::bursty(1.0),
+            win(2, 10),
+        );
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.total_hosts(), 150);
+        assert_eq!(plan.groups()[1].hosts, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "from < until")]
+    fn window_order_is_validated() {
+        let _ = TrafficWindow::new(SimTime::from_secs(2), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_group_is_rejected() {
+        let mut plan = TrafficPlan::new();
+        plan.group(
+            DatapathId::new(1),
+            PortNo::new(9),
+            0,
+            DemandProfile::datacenter(0.1),
+            win(2, 10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual host space")]
+    fn virtual_host_space_is_bounded() {
+        let mut plan = TrafficPlan::new();
+        plan.group(
+            DatapathId::new(1),
+            PortNo::new(9),
+            1 << 23,
+            DemandProfile::datacenter(0.1),
+            win(2, 10),
+        )
+        .group(
+            DatapathId::new(2),
+            PortNo::new(9),
+            1,
+            DemandProfile::datacenter(0.1),
+            win(2, 10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "elephant fraction")]
+    fn size_mix_fraction_is_validated() {
+        let _ = SizeMix::new(1.5, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow rate")]
+    fn demand_rate_is_validated() {
+        let _ = DemandProfile::new(0.0, ArrivalProcess::Poisson, SizeMix::datacenter());
+    }
+
+    #[test]
+    fn interarrival_scales_with_group_size() {
+        // 10× the hosts ⇒ ≈ 1/10 the mean gap (law of large numbers over
+        // a fixed seeded stream, generous tolerance).
+        let profile = DemandProfile::datacenter(1.0);
+        let mean_gap_ms = |hosts: u32| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let n = 4000;
+            let total: f64 = (0..n)
+                .map(|_| profile.sample_interarrival(hosts, &mut rng).as_millis_f64())
+                .sum();
+            total / f64::from(n)
+        };
+        let small = mean_gap_ms(10);
+        let large = mean_gap_ms(100);
+        assert!(
+            (small / large - 10.0).abs() < 1.5,
+            "gap ratio {} far from 10",
+            small / large
+        );
+    }
+
+    #[test]
+    fn poisson_phase_spans_any_window() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let phase = ArrivalProcess::Poisson.sample_phase(true, &mut rng);
+        assert!(phase > Duration::from_secs(3600));
+    }
+}

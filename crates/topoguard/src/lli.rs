@@ -6,8 +6,30 @@
 //! (encrypted departure timestamp minus the two control-link delays), keeps
 //! verified latencies in a fixed-size store, and flags any new measurement
 //! beyond `Q3 + 3·IQR` as a fabricated link.
+//!
+//! # Per-trunk baselines
+//!
+//! The store is keyed by the *undirected trunk* (the canonical orientation
+//! of the directed link), not shared across the fabric. A single global
+//! store mixes every trunk's latency population, and on large fabrics —
+//! where link profiles legitimately differ across tiers — the pooled IQR
+//! fence tightens around the majority population and flags honest trunks
+//! whose baseline merely sits in the distribution's tail (the measured
+//! false-positive flip on the 80-switch fat-tree). Both directions of a
+//! trunk share one store: they traverse the same physical medium, and
+//! pooling them halves warmup time.
+//!
+//! A trunk with *no verified history* — typically a link appearing after
+//! the fabric has formed, exactly a fabricated link's signature — cannot
+//! be judged against its own baseline (it would happily verify its own
+//! relay latency). Its samples are instead judged against the fabric's
+//! most permissive established fence (the maximum per-trunk threshold);
+//! only a sample passing that reference seeds the trunk's own store. At
+//! bootstrap no fence is established yet, so every honest trunk warms up
+//! against itself, whatever its tier's latency.
 
 use std::any::Any;
+use std::collections::BTreeMap;
 
 use controller::DirectedLink;
 use controller::{Alert, AlertKind, Command, DefenseModule, LinkLatencySample, ModuleCtx};
@@ -58,31 +80,56 @@ pub struct LliObservation {
 /// The Link Latency Inspector.
 pub struct Lli {
     config: LliConfig,
-    detector: IqrOutlierDetector,
+    /// One verified-latency store per undirected trunk (see module docs).
+    detectors: BTreeMap<DirectedLink, IqrOutlierDetector>,
     /// Full measurement history (Figs. 10/11 series).
     pub observations: Vec<LliObservation>,
     /// Anomalies flagged (diagnostics).
     pub detections: u64,
 }
 
+/// The canonical orientation of a trunk: both directions of the same
+/// physical link map to one store key.
+fn trunk_key(link: DirectedLink) -> DirectedLink {
+    link.min(link.reversed())
+}
+
 impl Lli {
     /// Creates the module.
     pub fn new(config: LliConfig) -> Self {
         Lli {
-            detector: IqrOutlierDetector::new(
-                config.store_capacity,
-                config.min_samples,
-                config.iqr_k,
-            ),
             config,
+            detectors: BTreeMap::new(),
             observations: Vec::new(),
             detections: 0,
         }
     }
 
-    /// The current detection threshold, if past warmup.
-    pub fn threshold_ms(&self) -> Option<f64> {
-        self.detector.threshold()
+    /// The detection threshold for a trunk, if that trunk is past warmup.
+    /// Either direction of the link selects the same baseline.
+    pub fn threshold_ms(&self, link: DirectedLink) -> Option<f64> {
+        self.detectors
+            .get(&trunk_key(link))
+            .and_then(IqrOutlierDetector::threshold)
+    }
+
+    /// The number of trunks with a baseline store.
+    pub fn trunks_tracked(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// The fence a history-less trunk is judged against: the maximum
+    /// established threshold across the *other* trunks (the most
+    /// permissive honest baseline). `None` until some trunk is past
+    /// warmup.
+    fn reference_threshold_ms(&self, exclude: DirectedLink) -> Option<f64> {
+        self.detectors
+            .iter()
+            .filter(|&(&key, _)| key != exclude)
+            .filter_map(|(_, d)| d.threshold())
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
     }
 }
 
@@ -104,8 +151,32 @@ impl DefenseModule for Lli {
             return Command::Continue;
         };
 
-        let threshold_before = self.detector.threshold();
-        let verdict = self.detector.inspect(latency_ms);
+        let key = trunk_key(link);
+        // No verified history for this trunk yet: judge against the
+        // fabric reference fence (see module docs) before letting the
+        // sample seed the trunk's own store.
+        let newborn = self
+            .detectors
+            .get(&key)
+            .is_none_or(IqrOutlierDetector::is_empty);
+        let reference = if newborn {
+            self.reference_threshold_ms(key)
+        } else {
+            None
+        };
+        let detector = self.detectors.entry(key).or_insert_with(|| {
+            IqrOutlierDetector::new(
+                self.config.store_capacity,
+                self.config.min_samples,
+                self.config.iqr_k,
+            )
+        });
+        let (threshold_before, verdict) = match reference {
+            Some(fence) if latency_ms > fence => {
+                (Some(fence), IqrVerdict::Outlier { threshold: fence })
+            }
+            _ => (detector.threshold(), detector.inspect(latency_ms)),
+        };
         let flagged = matches!(verdict, IqrVerdict::Outlier { .. });
         cx.telemetry.counter_inc("topoguard.lli.samples");
         // Milliseconds → nanoseconds for the shared latency bucket ladder.

@@ -329,7 +329,9 @@ fn lli_flags_and_blocks_anomalous_latency() {
         );
         assert_eq!(v, Command::Continue);
     }
-    assert!(lli.threshold_ms().expect("past warmup") < 8.0);
+    assert!(lli.threshold_ms(link).expect("past warmup") < 8.0);
+    // Either direction of the trunk selects the same baseline store.
+    assert_eq!(lli.threshold_ms(link), lli.threshold_ms(link.reversed()));
 
     // A relayed link shows up at ~21 ms.
     let v = lli.on_link_update(
@@ -342,6 +344,73 @@ fn lli_flags_and_blocks_anomalous_latency() {
     assert_eq!(h.alerts.count(AlertKind::AbnormalLinkLatency), 1);
     assert!(h.alerts.all()[0].detail.contains("delay:21ms"));
     assert_eq!(lli.detections, 1);
+}
+
+#[test]
+fn lli_keeps_per_trunk_baselines_for_heterogeneous_fabrics() {
+    // Regression for the fat-tree-8 verdict flip (EXPERIMENTS.md): a
+    // single global latency store pools every trunk's population, so an
+    // honest slow trunk (~20 ms core link) sits past the fence fitted to
+    // the fast majority (~5 ms edge links) and gets flagged. Per-trunk
+    // baselines must keep both honest populations silent while still
+    // flagging a genuine outlier on either trunk.
+    let mut h = ModuleHarness::new();
+    let mut lli = Lli::new(LliConfig::default());
+    let fast = DirectedLink::new(sp(1, 1), sp(2, 1));
+    let slow = DirectedLink::new(sp(3, 1), sp(4, 1));
+    let sample = |ms: f64| {
+        Some(LinkLatencySample {
+            t_lldp: Duration::from_millis_f64(ms + 2.0),
+            t_sw_src: Some(Duration::from_millis(1)),
+            t_sw_dst: Some(Duration::from_millis(1)),
+        })
+    };
+
+    // Interleaved honest observations from two distinct populations.
+    for i in 0..40_u64 {
+        let v = lli.on_link_update(
+            &mut h.ctx(SimTime::from_millis(100 * i)),
+            fast,
+            i == 0,
+            sample(5.0 + (i % 5) as f64 * 0.1),
+        );
+        assert_eq!(v, Command::Continue, "honest fast trunk flagged at {i}");
+        let v = lli.on_link_update(
+            &mut h.ctx(SimTime::from_millis(100 * i + 50)),
+            slow,
+            i == 0,
+            sample(20.0 + (i % 5) as f64 * 0.2),
+        );
+        assert_eq!(v, Command::Continue, "honest slow trunk flagged at {i}");
+    }
+    assert!(
+        h.alerts.is_empty(),
+        "two honest latency populations must not cross-contaminate"
+    );
+    assert_eq!(lli.trunks_tracked(), 2);
+    // The fences reflect each trunk's own population.
+    assert!(lli.threshold_ms(fast).expect("past warmup") < 8.0);
+    assert!(lli.threshold_ms(slow).expect("past warmup") > 18.0);
+
+    // A relay adds ~15 ms to the *fast* trunk: under a pooled store the
+    // slow population would have stretched the fence past it.
+    let v = lli.on_link_update(
+        &mut h.ctx(SimTime::from_secs(60)),
+        fast,
+        false,
+        sample(18.0),
+    );
+    assert_eq!(v, Command::Block, "relay on the fast trunk must flag");
+    assert_eq!(h.alerts.count(AlertKind::AbnormalLinkLatency), 1);
+    // And the slow trunk's own outlier still flags too.
+    let v = lli.on_link_update(
+        &mut h.ctx(SimTime::from_secs(61)),
+        slow,
+        false,
+        sample(45.0),
+    );
+    assert_eq!(v, Command::Block, "relay on the slow trunk must flag");
+    assert_eq!(lli.detections, 2);
 }
 
 #[test]

@@ -16,6 +16,9 @@
 use bench::campaign::registry;
 use netsim::{set_global_sched_backend, SchedBackend};
 use tm_campaign::{run_campaign, CampaignSpec};
+use tm_core::load::{self, LoadScenario};
+use tm_core::{DefenseStack, TrafficLoad};
+use tm_topo::TopoKind;
 
 /// One campaign render under a given backend and worker count.
 fn render(scenario: &str, backend: SchedBackend, workers: usize) -> String {
@@ -63,6 +66,12 @@ fn smoke_scenarios_are_backend_and_worker_identical() {
 /// The full registry sweep — minutes of virtual time per scenario, so it
 /// is ignored under the debug tier-1 budget; ci.sh runs it in release via
 /// `cargo test --release --test sched_diff -- --ignored`.
+///
+/// The `load` scenario is exempt: its grid tops out at 102,400 virtual
+/// hosts per cell, which would multiply this sweep's wall clock by ~5×
+/// for coverage [`load_soak_is_backend_identical`] provides directly on
+/// a small population (the traffic engine's event stream is the same
+/// code path at every population size).
 #[test]
 #[ignore = "full-registry sweep; run in release (see ci.sh)"]
 fn every_campaign_scenario_is_backend_and_worker_identical() {
@@ -70,9 +79,42 @@ fn every_campaign_scenario_is_backend_and_worker_identical() {
         .scenarios()
         .iter()
         .map(|s| s.name.clone())
+        .filter(|n| n != "load")
         .collect();
     assert!(names.len() >= 9, "registry unexpectedly small: {names:?}");
     for scenario in &names {
         assert_backend_square(scenario);
+    }
+}
+
+/// Backend differential for the flow-level traffic engine: one steady and
+/// one bursty load soak, rendered on both scheduler backends, must agree
+/// on every counter — flows offered, packets aggregated/expanded,
+/// Packet-Ins, events, alerts. Covers the arrival-chain, phase, and
+/// expiry events the other sweeps never schedule.
+#[test]
+#[ignore = "release-tier differential; run in release (see ci.sh)"]
+fn load_soak_is_backend_identical() {
+    for (label, traffic) in [
+        ("steady", TrafficLoad::steady(800, 0.5)),
+        ("bursty", TrafficLoad::bursty(800, 2.0)),
+    ] {
+        let run = |backend| {
+            set_global_sched_backend(Some(backend));
+            let out = load::run(&LoadScenario::new(
+                TopoKind::FatTree { k: 4 },
+                DefenseStack::TopoGuardPlus,
+                traffic,
+                0xD5_2018,
+            ));
+            set_global_sched_backend(None);
+            format!("{out:?}")
+        };
+        let wheel = run(SchedBackend::Wheel);
+        let heap = run(SchedBackend::Heap);
+        assert_eq!(
+            wheel, heap,
+            "{label} load soak diverged between scheduler backends"
+        );
     }
 }
