@@ -43,6 +43,44 @@ cargo run -q --release --offline -p bench --bin experiments -- \
     >"$tmp/tm_campaign_w2.out" 2>"$tmp/tm_campaign_w2.err"
 diff "$tmp/tm_campaign_w1.out" "$tmp/tm_campaign_w2.out"
 
+# Warehouse-scale smoke: sharding, crash-resume, and run-log replay on
+# the cheap probe-overhead grid. (1) a single-shot run is the byte
+# baseline; (2) the same campaign runs as --shard 0/2 + 1/2 with
+# --state, writing checkpoints and binary run-logs; (3) shard 0's
+# checkpoint AND run-log both lose their last 11 bytes (a simulated
+# mid-write crash) and --resume must carry the surviving cells over and
+# reproduce the fresh shard stdout exactly; (4) `campaign replay` over
+# the two shard logs re-aggregates the merged stream without
+# re-simulating and must equal the single-shot stdout byte for byte.
+state="$tmp/tm_campaign_state"
+rm -rf "$state"
+cargo run -q --release --offline -p bench --bin experiments -- \
+    campaign probe-overhead --seeds 6 --workers 2 \
+    >"$tmp/tm_shard_single.out" 2>/dev/null
+cargo run -q --release --offline -p bench --bin experiments -- \
+    campaign probe-overhead --seeds 6 --workers 2 --shard 0/2 --state "$state" \
+    >"$tmp/tm_shard_0.out" 2>"$tmp/tm_shard_0.err"
+cargo run -q --release --offline -p bench --bin experiments -- \
+    campaign probe-overhead --seeds 6 --workers 2 --shard 1/2 --state "$state" \
+    >"$tmp/tm_shard_1.out" 2>"$tmp/tm_shard_1.err"
+for f in "$state/probe-overhead.shard0of2.ckpt" \
+         "$state/probe-overhead.shard0of2.runlog"; do
+    size=$(wc -c <"$f")
+    head -c $((size - 11)) "$f" >"$f.cut"
+    mv "$f.cut" "$f"
+done
+cargo run -q --release --offline -p bench --bin experiments -- \
+    campaign probe-overhead --seeds 6 --workers 2 --shard 0/2 --state "$state" --resume \
+    >"$tmp/tm_shard_resume.out" 2>"$tmp/tm_shard_resume.err"
+grep -q '^resume: ' "$tmp/tm_shard_resume.err"
+diff "$tmp/tm_shard_0.out" "$tmp/tm_shard_resume.out"
+cargo run -q --release --offline -p bench --bin experiments -- \
+    campaign replay "$state/probe-overhead.shard0of2.runlog" \
+    "$state/probe-overhead.shard1of2.runlog" \
+    >"$tmp/tm_shard_replay.out" 2>"$tmp/tm_shard_replay.err"
+grep -q 'without re-simulating' "$tmp/tm_shard_replay.err"
+diff "$tmp/tm_shard_single.out" "$tmp/tm_shard_replay.out"
+
 # Topology-parameterized matrix smoke: one fat-tree hijack cell, offline,
 # single seed. Guards the whole fabric-elaboration path (generator → role
 # mapping → tree-scoped flooding → scenario) end to end; isolated-run
@@ -74,6 +112,9 @@ TM_BENCH_SAMPLES=3 cargo bench --offline -p bench >"$tmp/tm_bench.out"
 {
     printf '{\n  "campaign_wall": [\n'
     cat "$tmp/tm_campaign_w1.err" "$tmp/tm_campaign_w2.err" \
+        | grep '^BENCH_JSON ' | sed -e 's/^BENCH_JSON /    /' -e 's/$/,/' -e '$s/,$//'
+    printf '  ],\n  "campaign_scale": [\n'
+    cat "$tmp/tm_shard_0.err" "$tmp/tm_shard_1.err" "$tmp/tm_shard_resume.err" \
         | grep '^BENCH_JSON ' | sed -e 's/^BENCH_JSON /    /' -e 's/$/,/' -e '$s/,$//'
     printf '  ],\n  "traffic_throughput": [\n'
     grep '^BENCH_JSON ' "$tmp/tm_load_probe.err" \

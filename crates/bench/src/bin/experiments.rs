@@ -8,11 +8,21 @@
 //! cargo run --release -p bench --bin experiments -- campaign hijack --seeds 10 --workers 4
 //! ```
 
+use std::path::{Path, PathBuf};
+
 use bench::cli::CommonArgs;
 use bench::json::JsonValue;
-use bench::{ablation, campaign, figures, metrics, sweeps, tables};
-use tm_campaign::{run_campaign, CampaignSpec};
+use bench::{ablation, campaign, figures, metrics, runlog, sweeps, tables};
+use tm_campaign::{
+    aggregate_stream, run_campaign, run_campaign_with, CampaignReport, CampaignSpec,
+    CheckpointHeader, Registry, Resume, Saver, Shard, TeeSink,
+};
 use tm_core::matrix;
+
+/// The campaign family's value-taking flags (shared by `campaign`,
+/// `matrix --topo`, and `load`). `--resume` is boolean and filtered out
+/// before [`CommonArgs::parse`] sees the argument list.
+const CAMPAIGN_FLAGS: &[&str] = &["--seeds", "--workers", "--confidence", "--shard", "--state"];
 
 fn matrix_to_json(entries: &[tm_core::MatrixEntry]) -> JsonValue {
     JsonValue::Array(
@@ -52,17 +62,222 @@ fn usage() -> ! {
               matrix matrix_extended fault_matrix scan_detection alert_flood downtime\n\
               ablations ablation_lli ablation_amnesia ablation_timeout metrics all\n\
               campaign <scenario|smoke|faults|list> [--seeds N] [--workers N] [--confidence P]\n\
+                     [--shard I/N] [--state DIR] [--resume]\n\
+                     (--shard runs only grid cells `index mod N == I`; seeds stay global,\n\
+                      so merged shard output is byte-identical to a single invocation;\n\
+                      --state writes a binary run-log + atomic checkpoint per shard;\n\
+                      --resume skips cells the checkpoint already finalized)\n\
+              campaign replay <LOG...> [--json FILE]\n\
+                     (merge shard run-logs and re-aggregate without re-simulating)\n\
               scale [--seeds N] [--workers N]  (alias for `campaign scale`)\n\
               load [--seeds N] [--workers N] [--probe-only]\n\
                      (flow-level traffic campaign + 102,400-host throughput probe;\n\
                       --probe-only skips the campaign)\n\
               matrix --topo <labels|families|default> [--attacks CSV] [--stacks CSV]\n\
-                     [--seeds N] [--workers N] [--confidence P]\n\
+                     [--seeds N] [--workers N] [--confidence P] [--shard I/N]\n\
+                     [--state DIR] [--resume]\n\
                      (detection matrix on generated fabrics; families fat-tree, ring,\n\
                       linear, core-edge, datacenter expand to a small+large pair;\n\
                       datacenter tops out at 1000 switches)"
     );
     std::process::exit(2);
+}
+
+/// Peak resident set size (VmHWM) in kB, from `/proc/self/status`.
+/// `None` on platforms without procfs — the record field is just omitted.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|line| line.starts_with("VmHWM:"))
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse().ok())
+}
+
+/// Campaign execution options beyond the spec itself: shard assignment
+/// and on-disk state (run-log + checkpoint) with resume.
+struct CampaignIo {
+    shard: Shard,
+    state: Option<PathBuf>,
+    resume: bool,
+}
+
+impl CampaignIo {
+    /// Reads `--shard`/`--state` out of parsed args; `resume` comes from
+    /// the caller (boolean flags are filtered before parsing).
+    fn from_args(common: &CommonArgs, resume: bool) -> Result<CampaignIo, String> {
+        let shard_spec: String = common.extra_parsed("--shard", "0/1".to_string())?;
+        let shard = Shard::parse(&shard_spec)?;
+        let state: String = common.extra_parsed("--state", String::new())?;
+        let state = (!state.is_empty()).then(|| PathBuf::from(state));
+        if resume && state.is_none() {
+            return Err("--resume needs --state DIR (that is where the checkpoint lives)".into());
+        }
+        Ok(CampaignIo {
+            shard,
+            state,
+            resume,
+        })
+    }
+}
+
+/// Runs one campaign under `io`: plain in-memory execution without
+/// `--state`; with it, every run streams into the shard's binary run-log
+/// and every finalized cell into its atomic checkpoint, with `--resume`
+/// skipping cells both artifacts agree are complete. Returns the report
+/// plus the run-log size when state is on.
+fn execute_campaign(
+    registry: &Registry,
+    spec: &CampaignSpec,
+    io: &CampaignIo,
+) -> Result<(CampaignReport, Option<u64>), String> {
+    let Some(dir) = &io.state else {
+        return run_campaign(registry, spec).map(|report| (report, None));
+    };
+    let scenario = registry
+        .get(&spec.scenario)
+        .ok_or_else(|| format!("unknown scenario `{}`", spec.scenario))?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("state dir {}: {e}", dir.display()))?;
+    let tag = format!(
+        "{}.shard{}of{}",
+        spec.scenario, spec.shard.index, spec.shard.count
+    );
+    let ckpt_path = dir.join(format!("{tag}.ckpt"));
+    let log_path = dir.join(format!("{tag}.runlog"));
+    let ckpt_header = CheckpointHeader::for_spec(scenario, spec);
+    let log_header = runlog::RunLogHeader::for_spec(scenario, spec);
+
+    // Resume rule: a cell is skippable iff the checkpoint holds its
+    // finalized report AND the run-log holds all of its raw records —
+    // the pair must survive together or the cell re-runs.
+    let mut resumed_cells = Vec::new();
+    let mut kept_records = Vec::new();
+    if io.resume {
+        let checkpointed = tm_campaign::checkpoint::load(&ckpt_path, &ckpt_header)?;
+        let complete = match runlog::read(&log_path) {
+            Ok(log) if log.header.same_campaign(&log_header) && log.header.shard == spec.shard => {
+                runlog::complete_cells(&log)
+            }
+            // Missing or damaged log: nothing is resumable from it.
+            _ => Default::default(),
+        };
+        for cell in checkpointed {
+            if let Some(records) = complete.get(&cell.index) {
+                kept_records.extend(records.iter().cloned());
+                resumed_cells.push(cell);
+            }
+        }
+        eprintln!(
+            "resume: {} completed cell(s) carried over from {}",
+            resumed_cells.len(),
+            dir.display()
+        );
+    }
+    let mut writer = runlog::Writer::create(&log_path, &log_header, &kept_records)?;
+    let mut saver = Saver::new(ckpt_path, ckpt_header, resumed_cells.clone());
+    let mut tee = TeeSink {
+        first: &mut writer,
+        second: &mut saver,
+    };
+    let report = run_campaign_with(
+        registry,
+        spec,
+        &Resume {
+            cells: resumed_cells,
+        },
+        &mut tee,
+    )?;
+    Ok((report, Some(writer.bytes())))
+}
+
+/// The stderr `campaign-wall` perf record: wall clock, peak RSS, and the
+/// run-log footprint when state is on. Never in the deterministic stdout.
+fn campaign_wall_record(
+    name: &str,
+    workers: usize,
+    shard: Shard,
+    report: &CampaignReport,
+    wall_ms: f64,
+    runlog_bytes: Option<u64>,
+) {
+    let mut fields = vec![
+        ("suite", JsonValue::from("campaign-wall")),
+        ("bench", name.into()),
+        ("workers", workers.into()),
+        ("shard", shard.label().as_str().into()),
+        ("runs", report.total_runs.into()),
+        ("failed", report.total_failures().into()),
+        ("wall_ms", wall_ms.into()),
+    ];
+    if let Some(kb) = peak_rss_kb() {
+        fields.push(("peak_rss_kb", (kb as usize).into()));
+    }
+    if let Some(bytes) = runlog_bytes {
+        fields.push(("runlog_bytes", (bytes as usize).into()));
+    }
+    eprintln!("BENCH_JSON {}", JsonValue::object(fields).to_compact());
+}
+
+/// `campaign replay <LOG...>`: merge shard run-logs and re-aggregate the
+/// canonical stream — the exact stdout of the original campaign, with
+/// zero simulation work.
+fn replay_cmd(args: &[String]) {
+    let mut files: Vec<String> = Vec::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            flags.push(args[i].clone());
+            if let Some(value) = args.get(i + 1) {
+                flags.push(value.clone());
+            }
+            i += 2;
+        } else {
+            files.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let common = CommonArgs::parse(&flags, &[]).unwrap_or_else(|e| {
+        eprintln!("campaign replay: {e}");
+        usage()
+    });
+    if files.is_empty() {
+        eprintln!("campaign replay: needs at least one run-log file");
+        usage()
+    }
+    let fail = |e: String| -> ! {
+        eprintln!("campaign replay: {e}");
+        std::process::exit(2)
+    };
+    let logs: Vec<runlog::RunLog> = files
+        .iter()
+        .map(|f| runlog::read(Path::new(f)))
+        .collect::<Result<_, _>>()
+        .unwrap_or_else(|e| fail(e));
+    for (file, log) in files.iter().zip(&logs) {
+        if log.truncated {
+            eprintln!("warning: {file} has a damaged tail; incomplete cells will be rejected");
+        }
+    }
+    let (header, records) = runlog::merge(&logs).unwrap_or_else(|e| fail(e));
+    let grid = header.grid();
+    let report = aggregate_stream(&header.meta(), &grid, records).unwrap_or_else(|e| fail(e));
+
+    print!("{}", report.render());
+    for line in campaign::cell_bench_lines(&report) {
+        println!("{line}");
+    }
+    println!();
+    eprintln!(
+        "replayed {} runs from {} log(s) without re-simulating",
+        report.total_runs,
+        logs.len()
+    );
+    if let Some(path) = &common.json {
+        let json = campaign::summary_json(&report).to_pretty();
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }
 
 /// Expands a `--topo` grid spec: comma-separated topology labels
@@ -93,18 +308,15 @@ fn expand_topo_spec(spec: &str) -> Vec<String> {
 /// the report and per-cell `BENCH_JSON` lines are deterministic and
 /// byte-identical at any `--workers` count; wall time goes to stderr.
 fn topo_matrix_cmd(args: &[String]) {
-    let common = CommonArgs::parse(
-        args,
-        &[
-            "--topo",
-            "--attacks",
-            "--stacks",
-            "--seeds",
-            "--workers",
-            "--confidence",
-        ],
-    )
-    .unwrap_or_else(|e| {
+    let resume = args.iter().any(|a| a == "--resume");
+    let filtered: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--resume")
+        .cloned()
+        .collect();
+    let mut flags: Vec<&str> = vec!["--topo", "--attacks", "--stacks"];
+    flags.extend_from_slice(CAMPAIGN_FLAGS);
+    let common = CommonArgs::parse(&filtered, &flags).unwrap_or_else(|e| {
         eprintln!("matrix --topo: {e}");
         usage()
     });
@@ -133,6 +345,7 @@ fn topo_matrix_cmd(args: &[String]) {
     let confidence: f64 = common
         .extra_parsed("--confidence", 0.95)
         .unwrap_or_else(|e| fail(e));
+    let io = CampaignIo::from_args(&common, resume).unwrap_or_else(|e| fail(e));
 
     let topos = expand_topo_spec(&topo_spec);
     let attacks: Vec<String> = attacks_spec
@@ -159,11 +372,13 @@ fn topo_matrix_cmd(args: &[String]) {
     spec.seeds = seeds;
     spec.workers = workers;
     spec.confidence = confidence;
+    spec.shard = io.shard;
     spec.quiet_panics = true;
 
     // tm-lint: allow(wall-clock) -- campaign wall time is the perf-trajectory record; stderr only, never in the deterministic report
     let start = std::time::Instant::now();
-    let report = run_campaign(&registry, &spec).unwrap_or_else(|e| fail(e));
+    let (report, runlog_bytes) =
+        execute_campaign(&registry, &spec, &io).unwrap_or_else(|e| fail(e));
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
     print!("{}", report.render());
@@ -172,15 +387,14 @@ fn topo_matrix_cmd(args: &[String]) {
     }
     println!();
 
-    let wall = JsonValue::object(vec![
-        ("suite", "campaign-wall".into()),
-        ("bench", "fabric-matrix".into()),
-        ("workers", workers.into()),
-        ("runs", report.runs.len().into()),
-        ("failed", report.total_failures().into()),
-        ("wall_ms", wall_ms.into()),
-    ]);
-    eprintln!("BENCH_JSON {}", wall.to_compact());
+    campaign_wall_record(
+        "fabric-matrix",
+        workers,
+        io.shard,
+        &report,
+        wall_ms,
+        runlog_bytes,
+    );
 
     if let Some(path) = &common.json {
         let json = campaign::summary_json(&report).to_pretty();
@@ -198,6 +412,10 @@ fn topo_matrix_cmd(args: &[String]) {
 /// wall-clock record, which legitimately varies, goes to **stderr**.
 fn campaign_cmd(args: &[String]) {
     let Some(target) = args.first() else { usage() };
+    if target == "replay" {
+        replay_cmd(&args[1..]);
+        return;
+    }
     let registry = campaign::registry();
 
     if target == "list" {
@@ -208,11 +426,17 @@ fn campaign_cmd(args: &[String]) {
         return;
     }
 
-    let common = CommonArgs::parse(&args[1..], &["--seeds", "--workers", "--confidence"])
-        .unwrap_or_else(|e| {
-            eprintln!("campaign: {e}");
-            usage()
-        });
+    // `--resume` is boolean; every flag CommonArgs sees takes a value.
+    let resume = args[1..].iter().any(|a| a == "--resume");
+    let filtered: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| a.as_str() != "--resume")
+        .cloned()
+        .collect();
+    let common = CommonArgs::parse(&filtered, CAMPAIGN_FLAGS).unwrap_or_else(|e| {
+        eprintln!("campaign: {e}");
+        usage()
+    });
     let fail = |e: String| -> ! {
         eprintln!("campaign: {e}");
         std::process::exit(2)
@@ -226,6 +450,7 @@ fn campaign_cmd(args: &[String]) {
     let confidence: f64 = common
         .extra_parsed("--confidence", 0.95)
         .unwrap_or_else(|e| fail(e));
+    let io = CampaignIo::from_args(&common, resume).unwrap_or_else(|e| fail(e));
 
     let names: Vec<&str> = if target == "smoke" {
         campaign::SMOKE_SCENARIOS.to_vec()
@@ -241,13 +466,15 @@ fn campaign_cmd(args: &[String]) {
         spec.seeds = seeds;
         spec.workers = workers;
         spec.confidence = confidence;
+        spec.shard = io.shard;
         // The driver owns the process: silence the default panic hook's
         // backtraces while isolated cells fail (they are *reported*).
         spec.quiet_panics = true;
 
         // tm-lint: allow(wall-clock) -- campaign wall time is the perf-trajectory record; stderr only, never in the deterministic report
         let start = std::time::Instant::now();
-        let report = run_campaign(&registry, &spec).unwrap_or_else(|e| fail(e));
+        let (report, runlog_bytes) =
+            execute_campaign(&registry, &spec, &io).unwrap_or_else(|e| fail(e));
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
         print!("{}", report.render());
@@ -256,15 +483,7 @@ fn campaign_cmd(args: &[String]) {
         }
         println!();
 
-        let wall = JsonValue::object(vec![
-            ("suite", "campaign-wall".into()),
-            ("bench", name.into()),
-            ("workers", workers.into()),
-            ("runs", report.runs.len().into()),
-            ("failed", report.total_failures().into()),
-            ("wall_ms", wall_ms.into()),
-        ]);
-        eprintln!("BENCH_JSON {}", wall.to_compact());
+        campaign_wall_record(name, workers, io.shard, &report, wall_ms, runlog_bytes);
 
         summaries.push(campaign::summary_json(&report));
     }
@@ -294,15 +513,21 @@ fn load_cmd(args: &[String]) {
         .cloned()
         .collect();
     if !probe_only {
+        // `campaign_cmd` handles `--shard`/`--state`/`--resume` itself;
+        // forward everything but the probe flag.
         let mut forwarded = vec!["load".to_string()];
         forwarded.extend_from_slice(&filtered);
         campaign_cmd(&forwarded);
     }
-    let common = CommonArgs::parse(&filtered, &["--seeds", "--workers", "--confidence"])
-        .unwrap_or_else(|e| {
-            eprintln!("load: {e}");
-            usage()
-        });
+    let flagged: Vec<String> = filtered
+        .iter()
+        .filter(|a| a.as_str() != "--resume")
+        .cloned()
+        .collect();
+    let common = CommonArgs::parse(&flagged, CAMPAIGN_FLAGS).unwrap_or_else(|e| {
+        eprintln!("load: {e}");
+        usage()
+    });
     throughput_probe(common.seed);
 }
 

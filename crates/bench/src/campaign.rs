@@ -636,7 +636,7 @@ pub fn summary_json(report: &CampaignReport) -> JsonValue {
         ),
         (
             "total_ok",
-            (report.runs.len() - report.total_failures()).into(),
+            (report.total_runs - report.total_failures()).into(),
         ),
         ("total_failed", report.total_failures().into()),
     ])

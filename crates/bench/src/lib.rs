@@ -16,5 +16,6 @@ pub mod figures;
 pub mod harness;
 pub mod json;
 pub mod metrics;
+pub mod runlog;
 pub mod sweeps;
 pub mod tables;

@@ -95,10 +95,28 @@ pub fn student_t_quantile(df: usize, p: f64) -> f64 {
 /// A single sample yields a degenerate interval of half-width zero (there
 /// is no dispersion information), which keeps campaign tables total.
 pub fn t_interval(samples: &[f64], confidence: f64) -> Option<ConfidenceInterval> {
-    if samples.is_empty() || !(confidence > 0.0 && confidence < 1.0) {
+    t_interval_of(&Summary::of(samples), confidence)
+}
+
+/// The two-sided Student-t confidence interval computed from
+/// already-accumulated summary statistics.
+///
+/// This is the streaming-aggregation entry point: a campaign shard folds
+/// its samples into an [`OnlineStats`](crate::OnlineStats) accumulator
+/// (optionally [`merge`](crate::OnlineStats::merge)d across shards), takes
+/// a [`Summary`] snapshot, and derives the interval without ever holding
+/// the raw samples. Because [`Summary::of`] is itself a sequential Welford
+/// fold, `t_interval_of(&Summary::of(samples), c)` is **bit-identical** to
+/// [`t_interval`]`(samples, c)` — the campaign runner's byte-identical
+/// output contract depends on this, and a regression test pins it.
+///
+/// Returns `None` for an empty summary (`count == 0`) or a confidence
+/// outside `(0, 1)`; a single sample yields a degenerate half-width of
+/// zero, exactly like [`t_interval`].
+pub fn t_interval_of(s: &Summary, confidence: f64) -> Option<ConfidenceInterval> {
+    if s.count == 0 || !(confidence > 0.0 && confidence < 1.0) {
         return None;
     }
-    let s = Summary::of(samples);
     let half_width = if s.count < 2 {
         0.0
     } else {
@@ -225,6 +243,32 @@ mod tests {
         assert_eq!(one.half_width, 0.0);
         assert_eq!(one.mean, 3.0);
         assert_eq!(one.n, 1);
+    }
+
+    #[test]
+    fn t_interval_of_is_bit_identical_to_t_interval() {
+        // The campaign runner's streaming aggregation path computes
+        // intervals from a Welford snapshot; the two-pass reference path
+        // computes them from the raw samples. Byte-identical campaign
+        // output requires these to agree to the last bit.
+        let samples: Vec<f64> = (0..23).map(|i| ((i * 37) % 11) as f64 * 0.31).collect();
+        for conf in [0.90, 0.95, 0.99] {
+            let direct = t_interval(&samples, conf).expect("direct");
+            let from_summary = t_interval_of(&Summary::of(&samples), conf).expect("snapshot");
+            assert_eq!(direct.mean.to_bits(), from_summary.mean.to_bits());
+            assert_eq!(
+                direct.half_width.to_bits(),
+                from_summary.half_width.to_bits()
+            );
+            assert_eq!(direct.lo.to_bits(), from_summary.lo.to_bits());
+            assert_eq!(direct.hi.to_bits(), from_summary.hi.to_bits());
+            assert_eq!(direct.n, from_summary.n);
+        }
+        // Degenerate inputs behave identically too.
+        assert!(t_interval_of(&Summary::of(&[]), 0.95).is_none());
+        assert!(t_interval_of(&Summary::of(&[1.0]), 1.0).is_none());
+        let one = t_interval_of(&Summary::of(&[3.0]), 0.95).expect("single sample");
+        assert_eq!(one.half_width, 0.0);
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod iqr;
 pub mod quantile;
 pub mod summary;
 
-pub use ci::{bootstrap_mean_ci, student_t_quantile, t_interval, ConfidenceInterval};
+pub use ci::{
+    bootstrap_mean_ci, student_t_quantile, t_interval, t_interval_of, ConfidenceInterval,
+};
 pub use dist::{Distribution, Exponential, LogNormal, Normal, ShiftedPareto, UniformRange};
 pub use histogram::Histogram;
 pub use iqr::{IqrOutlierDetector, IqrVerdict};

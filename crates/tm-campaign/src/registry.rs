@@ -141,20 +141,30 @@ impl Scenario {
     /// of the axes with the **last axis varying fastest** (row-major).
     /// This order, not scheduling, defines result placement.
     pub fn cells(&self) -> Vec<GridPoint> {
-        let mut points = vec![GridPoint { coords: Vec::new() }];
-        for axis in &self.axes {
-            let mut next = Vec::with_capacity(points.len() * axis.values.len());
-            for point in &points {
-                for value in &axis.values {
-                    let mut coords = point.coords.clone();
-                    coords.push((axis.name.clone(), value.clone()));
-                    next.push(GridPoint { coords });
-                }
-            }
-            points = next;
-        }
-        points
+        grid_of(&self.axes)
     }
+}
+
+/// Enumerates the canonical grid for a standalone axis list — the same
+/// row-major order as [`Scenario::cells`].
+///
+/// This is what makes the binary run-log self-describing: a replay
+/// reconstructs the grid from the axes stored in the log header, without
+/// the scenario registry (or its run functions) in the loop.
+pub fn grid_of(axes: &[Axis]) -> Vec<GridPoint> {
+    let mut points = vec![GridPoint { coords: Vec::new() }];
+    for axis in axes {
+        let mut next = Vec::with_capacity(points.len() * axis.values.len());
+        for point in &points {
+            for value in &axis.values {
+                let mut coords = point.coords.clone();
+                coords.push((axis.name.clone(), value.clone()));
+                next.push(GridPoint { coords });
+            }
+        }
+        points = next;
+    }
+    points
 }
 
 /// The scenario registry, in registration order.

@@ -1,0 +1,136 @@
+//! Deterministic campaign sharding: split a grid across independent
+//! invocations without changing a single derived seed.
+//!
+//! A shard is an `index/count` pair. Shard `i` of `n` owns every grid
+//! cell whose canonical index satisfies `cell % n == i` — a pure function
+//! of the cell index, so the partition is identical on every machine and
+//! at every worker count. Crucially, sharding never re-numbers runs: run
+//! `k = cell * seeds + seed_index` keeps its **global** canonical index,
+//! and therefore its derived seed `stream_seed(base, k)`, whether the
+//! campaign runs as one invocation or as `n`. That is why the union of
+//! all shards' run streams, merged back into canonical `(cell, seed)`
+//! order, aggregates byte-identically to an unsharded run (pinned by
+//! `crates/tm-campaign/tests/campaign.rs`).
+//!
+//! Cells (not runs) are the sharding unit so that every cell's streaming
+//! accumulator lives entirely inside one shard — no cross-shard Welford
+//! merge is ever needed for a *cell*, which keeps the merged output
+//! bit-identical to the sequential fold.
+
+/// A shard assignment: this invocation owns cells `index mod count`.
+///
+/// `Shard::full()` (`0/1`) is the unsharded default; [`Shard::parse`]
+/// accepts the CLI's `--shard i/n` syntax.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index, `< count`.
+    pub index: u32,
+    /// Total number of shards, `≥ 1`.
+    pub count: u32,
+}
+
+impl Shard {
+    /// The unsharded assignment `0/1`: owns every cell.
+    pub fn full() -> Shard {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Whether this is the unsharded `0/1` assignment.
+    pub fn is_full(&self) -> bool {
+        self.count <= 1
+    }
+
+    /// Parses `i/n` (e.g. `0/2`, `3/8`). Requires `n ≥ 1` and `i < n`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard `{s}`: expected `index/count`, e.g. `0/2`"))?;
+        let index: u32 = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard `{s}`: index `{i}` is not a number"))?;
+        let count: u32 = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard `{s}`: count `{n}` is not a number"))?;
+        if count == 0 {
+            return Err(format!("shard `{s}`: count must be at least 1"));
+        }
+        if index >= count {
+            return Err(format!(
+                "shard `{s}`: index {index} out of range (0..{count})"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns the cell with the given canonical index.
+    pub fn owns(&self, cell: usize) -> bool {
+        match self.count {
+            0 | 1 => true,
+            count => {
+                // `count` is non-zero by the match arm; restated for the
+                // modulo below.
+                debug_assert!(count >= 2);
+                cell % count as usize == self.index as usize
+            }
+        }
+    }
+
+    /// The `i/n` display form, matching the `--shard` CLI syntax.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_invalid() {
+        assert_eq!(Shard::parse("0/1"), Ok(Shard::full()));
+        assert_eq!(Shard::parse("1/2"), Ok(Shard { index: 1, count: 2 }));
+        assert_eq!(Shard::parse(" 3 / 8 "), Ok(Shard { index: 3, count: 8 }));
+        assert!(Shard::parse("2/2").is_err(), "index must be < count");
+        assert!(Shard::parse("0/0").is_err(), "count must be >= 1");
+        assert!(Shard::parse("1").is_err(), "missing separator");
+        assert!(Shard::parse("a/b").is_err(), "non-numeric");
+        assert!(Shard::parse("-1/2").is_err(), "negative index");
+    }
+
+    #[test]
+    fn full_shard_owns_everything() {
+        let full = Shard::full();
+        assert!(full.is_full());
+        for cell in 0..10 {
+            assert!(full.owns(cell));
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_cells_exactly() {
+        for count in 2u32..=5 {
+            for cell in 0..23usize {
+                let owners: Vec<u32> = (0..count)
+                    .filter(|&index| Shard { index, count }.owns(cell))
+                    .collect();
+                assert_eq!(owners.len(), 1, "cell {cell} must have exactly one owner");
+                assert_eq!(owners[0] as usize, cell % count as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn label_round_trips_through_parse() {
+        for shard in [Shard::full(), Shard { index: 2, count: 7 }] {
+            assert_eq!(Shard::parse(&shard.label()), Ok(shard));
+        }
+    }
+}

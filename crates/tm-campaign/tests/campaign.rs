@@ -5,8 +5,15 @@
 //! 2. A deliberately panicking parameter point yields a failed-cell
 //!    report — the campaign completes instead of crashing.
 //! 3. Per-run seeds depend only on `(base seed, canonical index)`.
+//! 4. The streaming aggregation path is byte-identical to the retained
+//!    two-pass reference over the same canonical stream.
+//! 5. The union of all shards, merged in cell order, is byte-identical to
+//!    the unsharded run — at every shard count and worker count.
 
-use tm_campaign::{run_campaign, Axis, CampaignSpec, Metrics, Registry, RunStatus, Scenario};
+use tm_campaign::{
+    aggregate_stream, aggregate_two_pass, run_campaign, run_campaign_with, Axis, CampaignMeta,
+    CampaignSpec, Metrics, RecordingSink, Registry, Resume, RunStatus, Scenario, Shard,
+};
 use tm_rand::{Rng, StdRng};
 
 /// A registry of synthetic scenarios: deterministic arithmetic with a
@@ -61,19 +68,28 @@ fn spec(scenario: &str, workers: usize) -> CampaignSpec {
     s
 }
 
+/// Runs a campaign while recording the canonical stream it emits.
+fn run_recorded(r: &Registry, spec: &CampaignSpec) -> (tm_campaign::CampaignReport, RecordingSink) {
+    let mut sink = RecordingSink::default();
+    let report = run_campaign_with(r, spec, &Resume::none(), &mut sink).expect("campaign");
+    (report, sink)
+}
+
 #[test]
 fn workers_1_and_8_are_byte_identical() {
     let r = registry();
-    let serial = run_campaign(&r, &spec("synthetic", 1)).expect("workers=1");
-    let pooled = run_campaign(&r, &spec("synthetic", 8)).expect("workers=8");
+    let (serial, serial_sink) = run_recorded(&r, &spec("synthetic", 1));
+    let (pooled, pooled_sink) = run_recorded(&r, &spec("synthetic", 8));
     assert_eq!(
         serial.render(),
         pooled.render(),
         "aggregate output must not depend on worker count"
     );
-    // The structured reports (not just the rendering) must agree too.
-    assert_eq!(serial.runs, pooled.runs);
+    // The structured reports — and the raw canonical streams the sinks
+    // observed, not just the rendering — must agree too.
+    assert_eq!(serial_sink.runs, pooled_sink.runs);
     assert_eq!(serial.cells, pooled.cells);
+    assert_eq!(serial, pooled);
 }
 
 #[test]
@@ -126,11 +142,80 @@ fn failed_cells_are_identical_across_worker_counts() {
 #[test]
 fn per_run_seeds_are_canonical() {
     let r = registry();
-    let report = run_campaign(&r, &spec("synthetic", 2)).expect("campaign");
-    for (k, run) in report.runs.iter().enumerate() {
+    let (report, sink) = run_recorded(&r, &spec("synthetic", 2));
+    for (k, run) in sink.runs.iter().enumerate() {
         assert_eq!(run.seed, tm_rand::stream_seed(0xD5_2018, k as u64));
         assert!(matches!(run.status, RunStatus::Ok(_)));
     }
     // 6 cells x 6 seeds.
-    assert_eq!(report.runs.len(), 36);
+    assert_eq!(sink.runs.len(), 36);
+    assert_eq!(report.total_runs, 36);
+}
+
+#[test]
+fn streaming_matches_the_two_pass_reference_byte_for_byte() {
+    let r = registry();
+    for scenario in ["synthetic", "poisoned"] {
+        let s = spec(scenario, 3);
+        let (live, sink) = run_recorded(&r, &s);
+        let grid = r.get(scenario).expect("scenario").cells();
+        let meta = CampaignMeta::for_spec(r.get(scenario).expect("scenario"), &s);
+
+        let two_pass = aggregate_two_pass(&meta, &grid, &sink.runs).expect("two-pass");
+        assert_eq!(
+            live.render(),
+            two_pass.render(),
+            "{scenario}: live streaming vs two-pass render"
+        );
+        assert_eq!(live.cells, two_pass.cells, "{scenario}: structured cells");
+
+        let replayed =
+            aggregate_stream(&meta, &grid, sink.runs.iter().cloned()).expect("stream replay");
+        assert_eq!(
+            live.render(),
+            replayed.render(),
+            "{scenario}: replaying the recorded stream"
+        );
+        assert_eq!(live, replayed, "{scenario}: replayed report");
+    }
+}
+
+#[test]
+fn shard_union_equals_the_unsharded_run_byte_for_byte() {
+    let r = registry();
+    for scenario in ["synthetic", "poisoned"] {
+        let whole = run_campaign(&r, &spec(scenario, 2)).expect("unsharded");
+        for count in [2u32, 3, 4] {
+            let mut cells = Vec::new();
+            let mut union_runs = Vec::new();
+            for index in 0..count {
+                let mut s = spec(scenario, 3);
+                s.shard = Shard { index, count };
+                let (part, sink) = run_recorded(&r, &s);
+                assert!(
+                    part.cells.iter().all(|c| s.shard.owns(c.index)),
+                    "{scenario}: shard {index}/{count} reported a foreign cell"
+                );
+                cells.extend(part.cells);
+                union_runs.extend(sink.runs);
+            }
+            cells.sort_by_key(|c| c.index);
+            assert_eq!(
+                cells, whole.cells,
+                "{scenario}: {count}-way shard union vs unsharded cells"
+            );
+            // Merging the raw shard streams into canonical order and
+            // re-aggregating also reproduces the unsharded report.
+            union_runs.sort_by_key(|run| run.cell * 6 + run.seed_index);
+            let scenario_ref = r.get(scenario).expect("scenario");
+            let meta = CampaignMeta::for_spec(scenario_ref, &spec(scenario, 1));
+            let merged =
+                aggregate_stream(&meta, &scenario_ref.cells(), union_runs).expect("merged stream");
+            assert_eq!(
+                merged.render(),
+                whole.render(),
+                "{scenario}: merged {count}-way stream vs unsharded render"
+            );
+        }
+    }
 }
